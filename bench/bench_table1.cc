@@ -1,0 +1,91 @@
+// Table 1: performance-relevant simulation characteristics.
+//
+// Prints the characteristics matrix exactly as the paper reports it and
+// verifies the dynamic rows (agent creation/deletion) against a live run of
+// each model.
+#include <cstdio>
+
+#include "core/agent.h"
+#include "harness.h"
+
+using namespace bdm;
+using namespace bdm::bench;
+
+int main() {
+  PrintHeader("Table 1: performance-relevant simulation characteristics");
+
+  const auto mark = [](bool v) { return v ? "X" : " "; };
+  std::printf("%-38s", "Characteristic");
+  for (const auto& name : Table1Models()) {
+    std::printf(" %14s", name.c_str());
+  }
+  std::printf("\n");
+
+  struct Row {
+    const char* label;
+    bool models::ModelInfo::* field;
+  };
+  const Row rows[] = {
+      {"Create new agents during simulation", &models::ModelInfo::creates_agents},
+      {"Delete agents during simulation", &models::ModelInfo::deletes_agents},
+      {"Agents modify neighbors", &models::ModelInfo::modifies_neighbors},
+      {"Load imbalance", &models::ModelInfo::load_imbalance},
+      {"Agents move randomly", &models::ModelInfo::random_movement},
+      {"Simulation uses diffusion", &models::ModelInfo::uses_diffusion},
+      {"Simulation has static regions", &models::ModelInfo::has_static_regions},
+  };
+  for (const Row& row : rows) {
+    std::printf("%-38s", row.label);
+    for (const auto& name : Table1Models()) {
+      std::printf(" %14s", mark(models::FindModel(name)->*(row.field)));
+    }
+    std::printf("\n");
+  }
+  std::printf("%-38s", "Number of iterations (paper)");
+  for (const auto& name : Table1Models()) {
+    std::printf(" %14d", models::FindModel(name)->paper_iterations);
+  }
+  std::printf("\n");
+
+  // Live verification of the dynamic rows: run each model briefly and check
+  // whether agents appeared/disappeared.
+  PrintHeader("Live verification (60 iterations at reduced scale)");
+  std::printf("%-16s %10s %10s %10s %8s\n", "model", "initial", "final",
+              "watermark", "s/iter");
+  for (const auto& name : Table1Models()) {
+    Param param = AllOptimizationsParam(2, 1);
+    const models::ModelInfo* info = models::FindModel(name);
+    if (info->configure != nullptr) {
+      info->configure(&param);
+    }
+    uint64_t initial = 0;
+    uint64_t final_agents = 0;
+    uint64_t watermark = 0;
+    double seconds = 0;
+    {
+      Simulation sim(name, param);
+      info->build(&sim, Scaled(2000));
+      initial = sim.GetResourceManager()->GetNumAgents();
+      const auto start = std::chrono::steady_clock::now();
+      sim.Simulate(60);
+      seconds = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+      final_agents = sim.GetResourceManager()->GetNumAgents();
+      watermark = sim.GetAgentUidGenerator()->HighWatermark();
+    }
+    std::printf("%-16s %10llu %10llu %10llu %8.4f\n", name.c_str(),
+                static_cast<unsigned long long>(initial),
+                static_cast<unsigned long long>(final_agents),
+                static_cast<unsigned long long>(watermark), seconds / 60);
+    const bool created = watermark > initial;
+    const bool deleted = final_agents < initial + (watermark - initial);
+    if (created != info->creates_agents) {
+      std::printf("  WARNING: creates_agents mismatch (observed %d)\n", created);
+    }
+    if (info->deletes_agents && !deleted) {
+      std::printf("  WARNING: expected agent deletions, observed none\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,175 @@
+// Shared infrastructure for the evaluation harnesses (one binary per table
+// or figure of the paper; see DESIGN.md Section 4 for the index).
+//
+// Scales are chosen so the full suite finishes in minutes on a laptop-class
+// host; set BDM_BENCH_SCALE_FACTOR to grow every workload proportionally
+// (e.g. 10 on a large server). Shapes -- who wins, by what factor, where
+// crossovers fall -- are the reproduction target, not absolute numbers
+// (paper ran on 72-core 4-NUMA-domain machines).
+#ifndef BDM_BENCH_HARNESS_H_
+#define BDM_BENCH_HARNESS_H_
+
+#include <malloc.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/param.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "core/timing.h"
+#include "models/registry.h"
+
+namespace bdm::bench {
+
+/// Global workload multiplier from the environment (default 1).
+inline double ScaleFactor() {
+  const char* env = std::getenv("BDM_BENCH_SCALE_FACTOR");
+  return env != nullptr ? std::atof(env) : 1.0;
+}
+
+inline uint64_t Scaled(uint64_t base) {
+  return static_cast<uint64_t>(base * ScaleFactor());
+}
+
+/// Bytes currently allocated from the glibc heap (normal arena plus
+/// mmapped chunks). Robust at small scales where RSS only moves in pages.
+inline size_t HeapUsedBytes() {
+  const struct mallinfo2 info = mallinfo2();
+  return static_cast<size_t>(info.uordblks) + static_cast<size_t>(info.hblkhd);
+}
+
+/// Current resident set size in bytes (VmRSS from /proc/self/status).
+inline size_t CurrentRssBytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::strtoull(line.c_str() + 6, nullptr, 10) * 1024;
+    }
+  }
+  return 0;
+}
+
+struct RunResult {
+  double seconds = 0;                 // wall time of the Simulate call
+  double seconds_per_iteration = 0;
+  uint64_t iterations = 0;
+  uint64_t final_agents = 0;
+  size_t rss_delta_bytes = 0;         // RSS growth caused by the run
+  size_t heap_used_bytes = 0;         // live heap while the sim existed
+  TimingAggregator timing;            // per-operation breakdown
+};
+
+/// Builds the named registry model at `scale` agents under `param` and runs
+/// it for `iterations` steps. `tweak` may adjust the Param after the
+/// model's own configure hook (used by the optimization-ladder studies).
+inline RunResult RunModel(const std::string& model_name, uint64_t scale,
+                          uint64_t iterations, Param param,
+                          const std::function<void(Param*)>& tweak = nullptr,
+                          bool apply_model_config = true) {
+  const models::ModelInfo* info = models::FindModel(model_name);
+  if (info == nullptr) {
+    std::fprintf(stderr, "unknown model: %s\n", model_name.c_str());
+    std::exit(1);
+  }
+  if (apply_model_config && info->configure != nullptr) {
+    info->configure(&param);
+  }
+  if (tweak) {
+    tweak(&param);
+  }
+  const size_t rss_before = CurrentRssBytes();
+  const size_t heap_before = HeapUsedBytes();
+  RunResult result;
+  {
+    Simulation sim(model_name, param);
+    info->build(&sim, scale);
+    const auto start = std::chrono::steady_clock::now();
+    sim.Simulate(iterations);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    result.seconds = std::chrono::duration<double>(elapsed).count();
+    result.iterations = iterations;
+    result.seconds_per_iteration = result.seconds / iterations;
+    result.final_agents = sim.GetResourceManager()->GetNumAgents();
+    result.rss_delta_bytes = CurrentRssBytes() - rss_before;
+    result.heap_used_bytes = HeapUsedBytes() - heap_before;
+    result.timing = *sim.GetTiming();
+  }
+  return result;
+}
+
+/// One rung of the "optimizations progressively switched on" ladder
+/// (Figures 7b, 8, 9).
+struct OptLevel {
+  std::string name;
+  std::function<void(Param*)> apply;  // applied cumulatively
+};
+
+/// The ladder in the order the paper enables the optimizations. Apply all
+/// rungs up to index i to obtain configuration i.
+inline std::vector<OptLevel> OptimizationLadder() {
+  return {
+      {"standard (kd-tree, serial aux)",
+       [](Param* p) {
+         p->environment = EnvironmentType::kKdTree;
+         p->numa_aware_iteration = false;
+         p->parallel_commit = false;
+         p->agent_sort_frequency = 0;
+         p->sort_with_extra_memory = false;
+         p->use_bdm_memory_manager = false;
+         p->detect_static_agents = false;
+       }},
+      {"+ optimized uniform grid",
+       [](Param* p) { p->environment = EnvironmentType::kUniformGrid; }},
+      {"+ parallel add/remove", [](Param* p) { p->parallel_commit = true; }},
+      {"+ memory layout opts",
+       [](Param* p) {
+         p->numa_aware_iteration = true;
+         p->agent_sort_frequency = 20;  // the Figure 12 optimum
+         p->use_bdm_memory_manager = true;
+       }},
+      {"+ extra memory sorting",
+       [](Param* p) { p->sort_with_extra_memory = true; }},
+      {"+ static agent detection",
+       [](Param* p) { p->detect_static_agents = true; }},
+  };
+}
+
+/// Param preset for "all optimizations on" (the top of the ladder minus the
+/// model-specific static detection, which the registry configure hook adds
+/// where appropriate).
+inline Param AllOptimizationsParam(int threads = 0, int domains = 2) {
+  Param param;
+  param.num_threads = threads;
+  param.num_numa_domains = domains;
+  param.numa_aware_iteration = true;
+  param.parallel_commit = true;
+  param.agent_sort_frequency = 10;
+  param.use_bdm_memory_manager = true;
+  return param;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline const std::vector<std::string>& Table1Models() {
+  static const std::vector<std::string> names = {
+      "proliferation", "clustering", "epidemiology", "neuroscience",
+      "oncology"};
+  return names;
+}
+
+}  // namespace bdm::bench
+
+#endif  // BDM_BENCH_HARNESS_H_

@@ -1,0 +1,54 @@
+// Biocellion cell-sorting model (paper Section 6.5, Figure 7a).
+//
+// Two randomly mixed adhesive cell types sort into same-type domains. The
+// demo tracks the sorting index (same-type contact fraction: 0.5 = random
+// mix, -> 1 as domains form) and writes a CSV snapshot comparable to the
+// paper's Figure 7a rendering.
+//
+// Usage: cell_sorting_demo [iterations] [cells]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/cell_sorting.h"
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
+  const uint64_t cells = argc > 2 ? std::atoll(argv[2]) : 5000;
+
+  bdm::Param param;
+  param.num_threads = 4;
+  param.num_numa_domains = 2;
+  param.agent_sort_frequency = 10;
+  param.use_bdm_memory_manager = true;
+
+  bdm::Simulation simulation("cell_sorting", param);
+  bdm::models::cell_sorting::Config config;
+  config.num_cells = cells;
+  config.space = 14 * std::cbrt(static_cast<double>(cells));
+  bdm::models::cell_sorting::Build(&simulation, config);
+
+  std::printf("cell_sorting: %llu cells of two types, box %.0f um\n",
+              static_cast<unsigned long long>(cells), config.space);
+  std::printf("  sorting index at start: %.3f (0.5 = random mix)\n",
+              bdm::models::cell_sorting::SortingIndex(&simulation, 12));
+  for (int i = 0; i < iterations; i += 25) {
+    simulation.Simulate(25);
+    std::printf("  iter %4d: sorting index %.3f\n", i + 25,
+                bdm::models::cell_sorting::SortingIndex(&simulation, 12));
+  }
+
+  std::ofstream csv("cell_sorting_final.csv");
+  csv << "x,y,z,type\n";
+  simulation.GetResourceManager()->ForEachAgent(
+      [&](bdm::Agent* agent, bdm::AgentHandle) {
+        const auto& p = agent->GetPosition();
+        csv << p.x << "," << p.y << "," << p.z << ","
+            << static_cast<bdm::Cell*>(agent)->GetCellType() << "\n";
+      });
+  std::printf("cell_sorting: wrote cell_sorting_final.csv\n");
+  return 0;
+}

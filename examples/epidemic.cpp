@@ -1,0 +1,42 @@
+// SIR epidemic on randomly moving agents (the epidemiology benchmark model
+// of paper Table 1: load imbalance + large random movements).
+//
+// Prints the daily S/I/R counts -- the classic epidemic curve.
+//
+// Usage: epidemic [iterations] [persons]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/epidemiology.h"
+
+int main(int argc, char** argv) {
+  const int iterations = argc > 1 ? std::atoi(argv[1]) : 150;
+  const uint64_t persons = argc > 2 ? std::atoll(argv[2]) : 5000;
+
+  bdm::Param param;
+  param.num_threads = 4;
+  param.num_numa_domains = 2;
+  param.agent_sort_frequency = 20;  // frequent re-sorting pays off less here
+  param.use_bdm_memory_manager = true;
+
+  bdm::Simulation simulation("epidemic", param);
+  bdm::models::epidemiology::Config config;
+  config.num_persons = persons;
+  config.space = 60 * std::cbrt(static_cast<double>(persons));
+  bdm::models::epidemiology::Build(&simulation, config);
+
+  std::printf("epidemic: %llu persons in a %.0f um box\n",
+              static_cast<unsigned long long>(persons), config.space);
+  std::printf("%8s %10s %10s %10s\n", "iter", "S", "I", "R");
+  for (int i = 0; i < iterations; i += 10) {
+    simulation.Simulate(10);
+    const auto counts = bdm::models::epidemiology::CountStates(&simulation);
+    std::printf("%8d %10llu %10llu %10llu\n", i + 10,
+                static_cast<unsigned long long>(counts[0]),
+                static_cast<unsigned long long>(counts[1]),
+                static_cast<unsigned long long>(counts[2]));
+  }
+  return 0;
+}

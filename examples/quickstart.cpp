@@ -1,0 +1,63 @@
+// Quickstart: the smallest complete simulation.
+//
+// Creates a ball of cells that grow and divide, runs 100 iterations with
+// every engine optimization at its default setting, and prints population
+// statistics. Start here to learn the public API:
+//
+//   1. Fill a Param (thread count, optimization toggles).
+//   2. Construct a Simulation -- it owns every engine component.
+//   3. Create agents, attach behaviors, add them to the ResourceManager.
+//   4. Simulate(n) and inspect the results.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "math/random.h"
+#include "models/common_behaviors.h"
+
+int main() {
+  bdm::Param param;
+  param.num_threads = 4;
+  param.num_numa_domains = 2;        // simulated NUMA topology
+  param.agent_sort_frequency = 10;   // Morton re-sort every 10 iterations
+  param.use_bdm_memory_manager = true;
+
+  bdm::Simulation simulation("quickstart", param);
+  auto* rm = simulation.GetResourceManager();
+
+  // 1000 cells uniformly inside a ball of radius 100 um; each grows at a
+  // constant volume rate and divides at 16 um diameter.
+  bdm::Random random(42);
+  for (int i = 0; i < 1000; ++i) {
+    bdm::Real3 p;
+    do {
+      p = random.UniformPoint(-1, 1);
+    } while (p.SquaredNorm() > 1);
+    auto* cell = new bdm::Cell(p * 100.0, 8);
+    cell->AddBehavior(new bdm::models::GrowDivide(4000, 16));
+    rm->AddAgent(cell);
+  }
+
+  std::printf("quickstart: starting with %llu cells\n",
+              static_cast<unsigned long long>(rm->GetNumAgents()));
+  for (int epoch = 0; epoch < 5; ++epoch) {
+    simulation.Simulate(20);
+    std::printf("  after %3llu iterations: %llu cells\n",
+                static_cast<unsigned long long>(
+                    simulation.GetScheduler()->GetSimulatedIterations()),
+                static_cast<unsigned long long>(rm->GetNumAgents()));
+  }
+
+  // The timing aggregator holds the per-operation breakdown (paper Fig. 5).
+  std::printf("quickstart: runtime breakdown\n");
+  for (const auto& [name, entry] : simulation.GetTiming()->raw()) {
+    std::printf("  %-20s %8.3f ms (%llu calls)\n", name.c_str(),
+                entry.seconds * 1e3,
+                static_cast<unsigned long long>(entry.count));
+  }
+  return 0;
+}

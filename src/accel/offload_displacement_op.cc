@@ -1,0 +1,216 @@
+#include "accel/offload_displacement_op.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+
+#include "core/cell.h"
+#include "core/default_ops.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "physics/interaction_force.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm::accel {
+
+void OffloadDisplacementOp::Run(Simulation* sim) {
+  auto* rm = sim->GetResourceManager();
+  auto* pool = sim->GetThreadPool();
+  const Param& param = sim->GetParam();
+  const uint64_t n = rm->GetNumAgents();
+  if (n == 0) {
+    return;
+  }
+
+  // --- gather ---------------------------------------------------------------
+  // Flatten agent pointers; bail out to the per-agent path when the
+  // population contains non-spherical agents (the real GPU kernel has the
+  // same restriction).
+  std::vector<Agent*> agents(n);
+  std::atomic<bool> all_spheres{true};
+  {
+    uint64_t offset = 0;
+    for (int d = 0; d < rm->GetNumDomains(); ++d) {
+      const auto& domain = rm->GetAgentVector(d);
+      std::copy(domain.begin(), domain.end(), agents.begin() + offset);
+      offset += domain.size();
+    }
+  }
+  pos_x_.resize(n);
+  pos_y_.resize(n);
+  pos_z_.resize(n);
+  radius_.resize(n);
+  disp_x_.assign(n, 0);
+  disp_y_.assign(n, 0);
+  disp_z_.assign(n, 0);
+  pool->ParallelFor(0, static_cast<int64_t>(n), 4096,
+                    [&](int64_t lo, int64_t hi, int) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        Agent* agent = agents[i];
+                        if (dynamic_cast<Cell*>(agent) == nullptr) {
+                          all_spheres.store(false, std::memory_order_relaxed);
+                        }
+                        const Real3& p = agent->GetPosition();
+                        pos_x_[i] = p.x;
+                        pos_y_[i] = p.y;
+                        pos_z_[i] = p.z;
+                        radius_[i] = agent->GetDiameter() * real_t{0.5};
+                      }
+                    });
+  if (!all_spheres.load(std::memory_order_relaxed)) {
+    MechanicalForcesOp fallback;
+    rm->ForEachAgentParallel([&](Agent* agent, AgentHandle handle, int tid) {
+      fallback.Run(agent, handle, tid, sim);
+    });
+    return;
+  }
+
+  // --- build the compact SoA grid (CSR layout, counting sort) ----------------
+  real_t lo_x = std::numeric_limits<real_t>::max(), lo_y = lo_x, lo_z = lo_x;
+  real_t hi_x = std::numeric_limits<real_t>::lowest(), hi_y = hi_x, hi_z = hi_x;
+  real_t max_radius = 0;
+  for (uint64_t i = 0; i < n; ++i) {  // cheap serial reduction
+    lo_x = std::min(lo_x, pos_x_[i]);
+    hi_x = std::max(hi_x, pos_x_[i]);
+    lo_y = std::min(lo_y, pos_y_[i]);
+    hi_y = std::max(hi_y, pos_y_[i]);
+    lo_z = std::min(lo_z, pos_z_[i]);
+    hi_z = std::max(hi_z, pos_z_[i]);
+    max_radius = std::max(max_radius, radius_[i]);
+  }
+  real_t cell_len = std::max<real_t>(2 * max_radius, 1e-6);
+  auto dims = [&](real_t cl, int64_t* nx, int64_t* ny, int64_t* nz) {
+    *nx = static_cast<int64_t>((hi_x - lo_x) / cl) + 1;
+    *ny = static_cast<int64_t>((hi_y - lo_y) / cl) + 1;
+    *nz = static_cast<int64_t>((hi_z - lo_z) / cl) + 1;
+  };
+  int64_t nx, ny, nz;
+  dims(cell_len, &nx, &ny, &nz);
+  while (nx * ny * nz >
+         std::max<int64_t>(int64_t{1} << 21, 8 * static_cast<int64_t>(n))) {
+    cell_len *= 2;
+    dims(cell_len, &nx, &ny, &nz);
+  }
+  const uint64_t num_cells = static_cast<uint64_t>(nx * ny * nz);
+  agent_cell_.resize(n);
+  cell_start_.assign(num_cells + 1, 0);
+  auto cell_of = [&](real_t x, real_t y, real_t z) {
+    const int64_t cx = std::clamp<int64_t>(
+        static_cast<int64_t>((x - lo_x) / cell_len), 0, nx - 1);
+    const int64_t cy = std::clamp<int64_t>(
+        static_cast<int64_t>((y - lo_y) / cell_len), 0, ny - 1);
+    const int64_t cz = std::clamp<int64_t>(
+        static_cast<int64_t>((z - lo_z) / cell_len), 0, nz - 1);
+    return static_cast<uint32_t>(cx + nx * (cy + ny * cz));
+  };
+  for (uint64_t i = 0; i < n; ++i) {
+    agent_cell_[i] = cell_of(pos_x_[i], pos_y_[i], pos_z_[i]);
+    ++cell_start_[agent_cell_[i] + 1];
+  }
+  for (uint64_t c = 0; c < num_cells; ++c) {
+    cell_start_[c + 1] += cell_start_[c];
+  }
+  cell_entries_.resize(n);
+  {
+    std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+    for (uint64_t i = 0; i < n; ++i) {
+      cell_entries_[cursor[agent_cell_[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // --- kernel -----------------------------------------------------------------
+  // Pure data-parallel pass over the SoA buffers; Agent objects are not
+  // touched (this is the part a GPU would execute). The force is the base
+  // Cortex3D sphere force with the simulation's coefficients.
+  const InteractionForce* force = sim->GetInteractionForce();
+  const real_t repulsion = force->repulsion();
+  const real_t attraction = force->attraction();
+  const real_t attraction_range = force->attraction_range();
+  pool->ParallelFor(
+      0, static_cast<int64_t>(n), 1024, [&](int64_t ilo, int64_t ihi, int) {
+        for (int64_t i = ilo; i < ihi; ++i) {
+          const uint32_t cell = agent_cell_[i];
+          const int64_t cx = cell % nx;
+          const int64_t cy = (cell / nx) % ny;
+          const int64_t cz = cell / (nx * ny);
+          real_t fx = 0, fy = 0, fz = 0;
+          for (int64_t z = std::max<int64_t>(cz - 1, 0);
+               z <= std::min<int64_t>(cz + 1, nz - 1); ++z) {
+            for (int64_t y = std::max<int64_t>(cy - 1, 0);
+                 y <= std::min<int64_t>(cy + 1, ny - 1); ++y) {
+              for (int64_t x = std::max<int64_t>(cx - 1, 0);
+                   x <= std::min<int64_t>(cx + 1, nx - 1); ++x) {
+                const uint64_t c = static_cast<uint64_t>(x + nx * (y + ny * z));
+                for (uint32_t e = cell_start_[c]; e < cell_start_[c + 1]; ++e) {
+                  const uint32_t j = cell_entries_[e];
+                  if (j == static_cast<uint32_t>(i)) {
+                    continue;
+                  }
+                  const real_t dx = pos_x_[i] - pos_x_[j];
+                  const real_t dy = pos_y_[i] - pos_y_[j];
+                  const real_t dz = pos_z_[i] - pos_z_[j];
+                  const real_t d2 = dx * dx + dy * dy + dz * dz;
+                  const real_t sum_radii = radius_[i] + radius_[j];
+                  const real_t outer = sum_radii * (1 + attraction_range);
+                  if (d2 >= outer * outer) {
+                    continue;
+                  }
+                  const real_t d = std::sqrt(d2);
+                  const real_t delta = sum_radii - d;
+                  real_t ux, uy, uz;
+                  if (d > kEpsilon) {
+                    ux = dx / d;
+                    uy = dy / d;
+                    uz = dz / d;
+                  } else {
+                    ux = 1;
+                    uy = 0;
+                    uz = 0;
+                  }
+                  real_t magnitude;
+                  if (delta >= 0) {
+                    magnitude = repulsion * delta;
+                  } else {
+                    const real_t zone = sum_radii * attraction_range;
+                    const real_t fade = 1 + delta / zone;
+                    magnitude = attraction * delta * fade;
+                  }
+                  fx += ux * magnitude;
+                  fy += uy * magnitude;
+                  fz += uz * magnitude;
+                }
+              }
+            }
+          }
+          if (fx * fx + fy * fy + fz * fz >= param.force_threshold_squared) {
+            const real_t scale = param.dt / param.viscosity;
+            real_t mx = fx * scale, my = fy * scale, mz = fz * scale;
+            const real_t norm = std::sqrt(mx * mx + my * my + mz * mz);
+            if (norm > param.max_displacement) {
+              const real_t clamp = param.max_displacement / norm;
+              mx *= clamp;
+              my *= clamp;
+              mz *= clamp;
+            }
+            disp_x_[i] = mx;
+            disp_y_[i] = my;
+            disp_z_[i] = mz;
+          }
+        }
+      });
+
+  // --- scatter -----------------------------------------------------------------
+  pool->ParallelFor(0, static_cast<int64_t>(n), 4096,
+                    [&](int64_t lo, int64_t hi, int) {
+                      for (int64_t i = lo; i < hi; ++i) {
+                        if (disp_x_[i] != 0 || disp_y_[i] != 0 ||
+                            disp_z_[i] != 0) {
+                          agents[i]->ApplyDisplacement(
+                              {disp_x_[i], disp_y_[i], disp_z_[i]}, param);
+                        }
+                      }
+                    });
+}
+
+}  // namespace bdm::accel

@@ -1,0 +1,48 @@
+// Accelerator-style displacement computation (GPU-offload substitute).
+//
+// The real BioDynaMo "offloads computations to the GPU, transparently to
+// the user" (paper Section 2, citing Hesam et al. [27]): the mechanical-
+// forces operation gathers agent data into flat buffers, runs a CUDA/OpenCL
+// kernel over them, and scatters the resulting displacements back. No GPU
+// exists in this environment, so this operation reproduces the *structure*
+// of that offload on the CPU: a gather into structure-of-arrays buffers, a
+// data-parallel kernel that never touches Agent objects (it rebuilds a
+// compact SoA uniform grid and evaluates the sphere-sphere Cortex3D force),
+// and a scatter phase applying the displacements. Like the real GPU path it
+// supports spherical agents only; simulations containing other shapes fall
+// back to the regular MechanicalForcesOp per agent.
+//
+// Besides fidelity, this doubles as an ablation: AoS-in-place (default op)
+// vs gather/SoA/scatter evaluation of the same physics (bench_ablation).
+#ifndef BDM_ACCEL_OFFLOAD_DISPLACEMENT_OP_H_
+#define BDM_ACCEL_OFFLOAD_DISPLACEMENT_OP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/operation.h"
+#include "math/real.h"
+
+namespace bdm::accel {
+
+class OffloadDisplacementOp : public StandaloneOperation {
+ public:
+  OffloadDisplacementOp() : StandaloneOperation("offload_displacement", 1) {}
+
+  void Run(Simulation* sim) override;
+
+ private:
+  // Reused "device" buffers (the offload analogue of persistent device
+  // allocations).
+  std::vector<real_t> pos_x_, pos_y_, pos_z_;
+  std::vector<real_t> radius_;
+  std::vector<real_t> disp_x_, disp_y_, disp_z_;
+  // Compact SoA grid: cell start offsets (CSR layout) + agent indices.
+  std::vector<uint32_t> cell_start_;
+  std::vector<uint32_t> cell_entries_;
+  std::vector<uint32_t> agent_cell_;
+};
+
+}  // namespace bdm::accel
+
+#endif  // BDM_ACCEL_OFFLOAD_DISPLACEMENT_OP_H_

@@ -1,0 +1,144 @@
+#include "baseline/serial_engine.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace bdm::baseline {
+
+SerialEngine::SerialEngine(const Config& config)
+    : config_(config), random_(config.seed) {
+  agents_.reserve(config_.num_agents);
+  for (uint64_t i = 0; i < config_.num_agents; ++i) {
+    auto agent = std::make_unique<BaselineAgent>();
+    agent->position = random_.UniformPoint(0, config_.space);
+    agent->diameter = config_.initial_diameter;
+    if (config_.model == ModelKind::kEpidemiology) {
+      agent->diameter = 5;
+      agent->type = random_.Uniform() < 0.01 ? 1 : 0;  // 1% initially infected
+    }
+    agents_.push_back(std::move(agent));
+  }
+  box_length_ = config_.model == ModelKind::kEpidemiology
+                    ? config_.infection_radius
+                    : config_.division_diameter;
+}
+
+int64_t SerialEngine::BoxKey(const Real3& position) const {
+  const auto bx = static_cast<int64_t>(std::floor(position.x / box_length_));
+  const auto by = static_cast<int64_t>(std::floor(position.y / box_length_));
+  const auto bz = static_cast<int64_t>(std::floor(position.z / box_length_));
+  return bx * 73856093 ^ by * 19349663 ^ bz * 83492791;
+}
+
+void SerialEngine::RebuildIndex() {
+  index_.clear();  // rebuilt from scratch every iteration
+  for (const auto& agent : agents_) {
+    index_[BoxKey(agent->position)].push_back(agent.get());
+  }
+}
+
+std::vector<BaselineAgent*> SerialEngine::Neighbors(
+    const Real3& position, real_t radius, const BaselineAgent* exclude) const {
+  std::vector<BaselineAgent*> result;  // fresh allocation per query
+  const real_t r2 = radius * radius;
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const Real3 probe = {position.x + dx * box_length_,
+                             position.y + dy * box_length_,
+                             position.z + dz * box_length_};
+        auto it = index_.find(BoxKey(probe));
+        if (it == index_.end()) {
+          continue;
+        }
+        for (BaselineAgent* candidate : it->second) {
+          if (candidate != exclude &&
+              candidate->position.SquaredDistance(position) <= r2) {
+            result.push_back(candidate);
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void SerialEngine::Step() {
+  RebuildIndex();
+  std::vector<std::unique_ptr<BaselineAgent>> born;
+  for (auto& agent : agents_) {
+    if (config_.model == ModelKind::kProliferation) {
+      if (agent->diameter >= config_.division_diameter) {
+        // Division: halve the volume, spawn a displaced daughter.
+        auto daughter = std::make_unique<BaselineAgent>(*agent);
+        const Real3 axis = random_.UnitVector();
+        const real_t offset = agent->diameter * real_t{0.25};
+        daughter->position = agent->position + axis * offset;
+        agent->position = agent->position - axis * offset;
+        const real_t pi = std::numbers::pi_v<real_t>;
+        const real_t volume =
+            pi / 6 * agent->diameter * agent->diameter * agent->diameter;
+        agent->diameter = std::cbrt(volume / 2 * 6 / pi);
+        daughter->diameter = agent->diameter;
+        born.push_back(std::move(daughter));
+      } else {
+        const real_t pi = std::numbers::pi_v<real_t>;
+        const real_t volume =
+            pi / 6 * agent->diameter * agent->diameter * agent->diameter +
+            config_.volume_growth_rate * config_.dt;
+        agent->diameter = std::cbrt(volume * 6 / pi);
+      }
+      // Simple repulsion against overlapping neighbors.
+      auto neighbors =
+          Neighbors(agent->position, agent->diameter, agent.get());
+      Real3 force{};
+      for (BaselineAgent* nb : neighbors) {
+        const Real3 comp = agent->position - nb->position;
+        const real_t d = comp.Norm();
+        const real_t delta = (agent->diameter + nb->diameter) / 2 - d;
+        if (delta > 0 && d > kEpsilon) {
+          force += comp * (2 * delta / d);
+        }
+      }
+      agent->position += force * config_.dt;
+    } else {
+      // Epidemiology: random walk plus SIR transition.
+      agent->position += random_.UnitVector() * config_.step_length;
+      if (agent->type == 1) {
+        if (++agent->timer >= config_.recovery_time) {
+          agent->type = 2;
+        }
+      } else if (agent->type == 0) {
+        auto neighbors = Neighbors(agent->position, config_.infection_radius,
+                                   agent.get());
+        bool exposed = false;
+        for (BaselineAgent* nb : neighbors) {
+          exposed |= nb->type == 1;
+        }
+        if (exposed && random_.Bool(config_.infection_probability)) {
+          agent->type = 1;
+        }
+      }
+    }
+  }
+  for (auto& agent : born) {
+    agents_.push_back(std::move(agent));
+  }
+}
+
+void SerialEngine::Simulate(uint64_t iterations) {
+  for (uint64_t i = 0; i < iterations; ++i) {
+    Step();
+  }
+}
+
+size_t SerialEngine::IndexMemoryFootprint() const {
+  size_t bytes = index_.size() *
+                 (sizeof(int64_t) + sizeof(std::vector<BaselineAgent*>) + 32);
+  for (const auto& [key, box] : index_) {
+    bytes += box.capacity() * sizeof(BaselineAgent*);
+  }
+  return bytes;
+}
+
+}  // namespace bdm::baseline

@@ -1,0 +1,86 @@
+// Baseline serial ABM engine -- the Cortex3D / NetLogo stand-in.
+//
+// The paper's Figure 8 compares BioDynaMo against Cortex3D (Java) and
+// NetLogo; neither runs in this offline environment, so the comparison
+// series comes from this deliberately conventional engine, which has the
+// two structural properties the paper blames for those tools' performance:
+//   * strictly single-threaded execution, and
+//   * an allocation-churning neighbor index (a hash-map grid of per-box
+//     std::vectors rebuilt from scratch every iteration) over individually
+//     heap-allocated agent objects, giving the poor locality of a
+//     JVM-object-graph design.
+// It implements the same model dynamics (growth/division, random walk +
+// SIR infection) so per-iteration workloads are comparable.
+#ifndef BDM_BASELINE_SERIAL_ENGINE_H_
+#define BDM_BASELINE_SERIAL_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "math/random.h"
+#include "math/real3.h"
+
+namespace bdm::baseline {
+
+struct BaselineAgent {
+  Real3 position;
+  real_t diameter = 10;
+  int type = 0;       // model-specific state (e.g. SIR)
+  int timer = 0;
+  bool alive = true;
+};
+
+class SerialEngine {
+ public:
+  enum class ModelKind { kProliferation, kEpidemiology };
+
+  struct Config {
+    ModelKind model = ModelKind::kProliferation;
+    uint64_t num_agents = 1000;
+    real_t space = 400;
+    // proliferation
+    real_t volume_growth_rate = 4000;
+    real_t division_diameter = 16;
+    real_t initial_diameter = 8;
+    // epidemiology
+    real_t step_length = 15;
+    real_t infection_radius = 10;
+    real_t infection_probability = 0.25;
+    int recovery_time = 50;
+    real_t dt = 0.01;
+    uint64_t seed = 4357;
+  };
+
+  explicit SerialEngine(const Config& config);
+
+  void Step();
+  void Simulate(uint64_t iterations);
+
+  uint64_t NumAgents() const { return agents_.size(); }
+  const std::vector<std::unique_ptr<BaselineAgent>>& agents() const {
+    return agents_;
+  }
+  /// Bytes held by the neighbor index after the last step (for the memory
+  /// comparison in Figure 8).
+  size_t IndexMemoryFootprint() const;
+
+ private:
+  void RebuildIndex();
+  /// Collects neighbor indices within `radius` of `position` into a freshly
+  /// allocated vector (deliberate allocation churn, see header comment).
+  std::vector<BaselineAgent*> Neighbors(const Real3& position, real_t radius,
+                                        const BaselineAgent* exclude) const;
+  int64_t BoxKey(const Real3& position) const;
+
+  Config config_;
+  Random random_;
+  std::vector<std::unique_ptr<BaselineAgent>> agents_;
+  real_t box_length_ = 20;
+  std::unordered_map<int64_t, std::vector<BaselineAgent*>> index_;
+};
+
+}  // namespace bdm::baseline
+
+#endif  // BDM_BASELINE_SERIAL_ENGINE_H_

@@ -1,0 +1,37 @@
+// Umbrella header: the public API of the bdm-engine library.
+//
+// Fine-grained headers remain available for compile-time-sensitive users;
+// examples and downstream applications can simply #include "bdm.h".
+#ifndef BDM_BDM_H_
+#define BDM_BDM_H_
+
+#include "continuum/diffusion_grid.h"
+#include "core/agent.h"
+#include "core/agent_pointer.h"
+#include "core/behavior.h"
+#include "core/cell.h"
+#include "core/execution_context.h"
+#include "core/load_balance_op.h"
+#include "core/operation.h"
+#include "core/param.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "core/timing.h"
+#include "env/environment.h"
+#include "env/kd_tree.h"
+#include "env/octree.h"
+#include "env/uniform_grid.h"
+#include "io/checkpoint.h"
+#include "io/exporter.h"
+#include "io/time_series.h"
+#include "math/random.h"
+#include "math/real3.h"
+#include "models/common_behaviors.h"
+#include "models/registry.h"
+#include "neuro/growth_behaviors.h"
+#include "neuro/neurite_element.h"
+#include "neuro/neuron_soma.h"
+#include "physics/interaction_force.h"
+
+#endif  // BDM_BDM_H_

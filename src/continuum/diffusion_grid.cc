@@ -1,0 +1,165 @@
+#include "continuum/diffusion_grid.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cmath>
+
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+namespace {
+
+/// Lock-free add for real_t values written concurrently by many threads.
+void AtomicAdd(real_t* target, real_t value) {
+  std::atomic_ref<real_t> ref(*target);
+  real_t expected = ref.load(std::memory_order_relaxed);
+  while (!ref.compare_exchange_weak(expected, expected + value,
+                                    std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+DiffusionGrid::DiffusionGrid(std::string name, real_t diffusion_coefficient,
+                             real_t decay, int resolution)
+    : name_(std::move(name)),
+      diffusion_coefficient_(diffusion_coefficient),
+      decay_(decay),
+      resolution_(std::max(resolution, 2)) {}
+
+void DiffusionGrid::Initialize(const Real3& lower, const Real3& upper) {
+  lower_ = lower;
+  real_t extent = 0;
+  for (int c = 0; c < 3; ++c) {
+    extent = std::max(extent, upper[c] - lower[c]);
+  }
+  voxel_length_ = std::max<real_t>(extent / (resolution_ - 1), 1e-6);
+  for (int c = 0; c < 3; ++c) {
+    upper_[c] = lower_[c] + voxel_length_ * (resolution_ - 1);
+  }
+  const int64_t n =
+      static_cast<int64_t>(resolution_) * resolution_ * resolution_;
+  c1_.assign(n, 0);
+  c2_.assign(n, 0);
+  initialized_ = true;
+}
+
+void DiffusionGrid::SetInitialValue(
+    const std::function<real_t(const Real3&)>& value) {
+  assert(initialized_);
+  const int64_t n = resolution_;
+  for (int64_t z = 0; z < n; ++z) {
+    for (int64_t y = 0; y < n; ++y) {
+      for (int64_t x = 0; x < n; ++x) {
+        const Real3 center = {lower_.x + x * voxel_length_,
+                              lower_.y + y * voxel_length_,
+                              lower_.z + z * voxel_length_};
+        c1_[Flat(x, y, z)] = value(center);
+      }
+    }
+  }
+}
+
+int64_t DiffusionGrid::VoxelIndex(const Real3& position) const {
+  int64_t coords[3];
+  for (int c = 0; c < 3; ++c) {
+    const int64_t v = static_cast<int64_t>(
+        std::floor((position[c] - lower_[c]) / voxel_length_ + real_t{0.5}));
+    coords[c] = std::clamp<int64_t>(v, 0, resolution_ - 1);
+  }
+  return Flat(coords[0], coords[1], coords[2]);
+}
+
+real_t DiffusionGrid::GetConcentration(const Real3& position) const {
+  assert(initialized_);
+  return c1_[VoxelIndex(position)];
+}
+
+void DiffusionGrid::IncreaseConcentrationBy(const Real3& position, real_t amount) {
+  assert(initialized_);
+  AtomicAdd(&c1_[VoxelIndex(position)], amount);
+}
+
+Real3 DiffusionGrid::GetGradient(const Real3& position) const {
+  assert(initialized_);
+  // No field information outside the grid domain: report a zero gradient
+  // instead of extrapolating from clamped voxels (an agent just past the
+  // boundary would otherwise chase its own edge deposit outward forever).
+  const real_t margin = voxel_length_ * real_t{0.5};
+  for (int c = 0; c < 3; ++c) {
+    if (position[c] < lower_[c] - margin || position[c] > upper_[c] + margin) {
+      return {0, 0, 0};
+    }
+  }
+  int64_t coords[3];
+  for (int c = 0; c < 3; ++c) {
+    const int64_t v = static_cast<int64_t>(
+        std::floor((position[c] - lower_[c]) / voxel_length_ + real_t{0.5}));
+    coords[c] = std::clamp<int64_t>(v, 1, resolution_ - 2);
+  }
+  const real_t inv2h = real_t{0.5} / voxel_length_;
+  Real3 gradient;
+  gradient.x = (c1_[Flat(coords[0] + 1, coords[1], coords[2])] -
+                c1_[Flat(coords[0] - 1, coords[1], coords[2])]) *
+               inv2h;
+  gradient.y = (c1_[Flat(coords[0], coords[1] + 1, coords[2])] -
+                c1_[Flat(coords[0], coords[1] - 1, coords[2])]) *
+               inv2h;
+  gradient.z = (c1_[Flat(coords[0], coords[1], coords[2] + 1)] -
+                c1_[Flat(coords[0], coords[1], coords[2] - 1)]) *
+               inv2h;
+  return gradient;
+}
+
+void DiffusionGrid::Step(real_t dt, NumaThreadPool* pool) {
+  assert(initialized_);
+  // Explicit Euler stability: dt_sub <= h^2 / (6 D).
+  const real_t h2 = voxel_length_ * voxel_length_;
+  const real_t max_dt = diffusion_coefficient_ > 0
+                            ? h2 / (6 * diffusion_coefficient_)
+                            : dt;
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / max_dt)));
+  const real_t sub_dt = dt / substeps;
+  for (int s = 0; s < substeps; ++s) {
+    StepOnce(sub_dt, pool);
+  }
+}
+
+void DiffusionGrid::StepOnce(real_t dt, NumaThreadPool* pool) {
+  const int64_t n = resolution_;
+  const real_t alpha = diffusion_coefficient_ * dt / (voxel_length_ * voxel_length_);
+  const real_t decay_factor = 1 - decay_ * dt;
+  auto step_plane = [&](int64_t z_lo, int64_t z_hi) {
+    for (int64_t z = z_lo; z < z_hi; ++z) {
+      for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+          const int64_t i = Flat(x, y, z);
+          const real_t center = c1_[i];
+          // Out-of-range neighbors: mirror the center (closed / zero-flux)
+          // or read zero (absorbing Dirichlet rim).
+          const real_t edge =
+              boundary_ == BoundaryCondition::kClosed ? center : real_t{0};
+          const real_t xm = x > 0 ? c1_[i - 1] : edge;
+          const real_t xp = x < n - 1 ? c1_[i + 1] : edge;
+          const real_t ym = y > 0 ? c1_[i - n] : edge;
+          const real_t yp = y < n - 1 ? c1_[i + n] : edge;
+          const real_t zm = z > 0 ? c1_[i - n * n] : edge;
+          const real_t zp = z < n - 1 ? c1_[i + n * n] : edge;
+          const real_t laplacian = xm + xp + ym + yp + zm + zp - 6 * center;
+          c2_[i] = (center + alpha * laplacian) * decay_factor;
+        }
+      }
+    }
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(0, n, 1,
+                      [&](int64_t lo, int64_t hi, int) { step_plane(lo, hi); });
+  } else {
+    step_plane(0, n);
+  }
+  std::swap(c1_, c2_);
+}
+
+}  // namespace bdm

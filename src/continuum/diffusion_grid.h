@@ -1,0 +1,89 @@
+// Finite-difference diffusion of extracellular substances.
+//
+// The clustering and neuroscience benchmark simulations couple agents to
+// continuum substance fields (Table 1, "diffusion volumes"). The solver is
+// an explicit-Euler 7-point stencil with exponential decay on a regular
+// grid over the simulation space; it substeps automatically to respect the
+// stability bound dt <= h^2 / (6 D). Boundary condition is closed
+// (zero-flux Neumann).
+#ifndef BDM_CONTINUUM_DIFFUSION_GRID_H_
+#define BDM_CONTINUUM_DIFFUSION_GRID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "math/real3.h"
+
+namespace bdm {
+
+class NumaThreadPool;
+
+class DiffusionGrid {
+ public:
+  enum class BoundaryCondition {
+    kClosed,     // zero-flux Neumann: substance is conserved
+    kAbsorbing,  // Dirichlet c=0 at the boundary: substance leaks out
+  };
+
+  /// `resolution` is the number of grid points per axis.
+  DiffusionGrid(std::string name, real_t diffusion_coefficient, real_t decay,
+                int resolution);
+
+  /// (Re)initializes the grid over the axis-aligned box [lower, upper].
+  void Initialize(const Real3& lower, const Real3& upper);
+
+  /// Fills the field from an initializer evaluated at every voxel center.
+  /// Must be called after Initialize.
+  void SetInitialValue(const std::function<real_t(const Real3&)>& value);
+
+  void SetBoundaryCondition(BoundaryCondition bc) { boundary_ = bc; }
+  BoundaryCondition GetBoundaryCondition() const { return boundary_; }
+
+  /// Advances the field by `dt` (internally substepped for stability).
+  void Step(real_t dt, NumaThreadPool* pool);
+
+  // --- agent coupling --------------------------------------------------------
+  real_t GetConcentration(const Real3& position) const;
+  /// Central-difference gradient at `position` (zero at boundaries' rim).
+  Real3 GetGradient(const Real3& position) const;
+  /// Thread-safe deposit used by secretion behaviors running in parallel.
+  void IncreaseConcentrationBy(const Real3& position, real_t amount);
+
+  // --- accessors -------------------------------------------------------------
+  const std::string& GetName() const { return name_; }
+  int GetResolution() const { return resolution_; }
+  int64_t GetNumVolumes() const { return static_cast<int64_t>(c1_.size()); }
+  real_t GetVoxelLength() const { return voxel_length_; }
+  size_t MemoryFootprint() const {
+    return (c1_.capacity() + c2_.capacity()) * sizeof(real_t);
+  }
+
+  int64_t VoxelIndex(const Real3& position) const;
+
+ private:
+  int64_t Flat(int64_t x, int64_t y, int64_t z) const {
+    return x + resolution_ * (y + resolution_ * z);
+  }
+  void StepOnce(real_t dt, NumaThreadPool* pool);
+
+  std::string name_;
+  real_t diffusion_coefficient_;
+  real_t decay_;
+  int resolution_;
+
+  Real3 lower_;
+  Real3 upper_;  // lower_ + (resolution-1) * voxel_length per axis
+  real_t voxel_length_ = 1;
+  bool initialized_ = false;
+  BoundaryCondition boundary_ = BoundaryCondition::kClosed;
+
+  std::vector<real_t> c1_;  // current concentrations
+  std::vector<real_t> c2_;  // scratch buffer (swapped every substep)
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CONTINUUM_DIFFUSION_GRID_H_

@@ -1,0 +1,113 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <new>
+
+#include "io/binary.h"
+#include "memory/memory_manager.h"
+
+namespace bdm {
+
+Agent::Agent(const Agent& other)
+    : uid_(other.uid_),
+      position_(other.position_),
+      is_static_(other.is_static_),
+      propagate_staticness_(other.propagate_staticness_),
+      is_static_next_(other.is_static_next_.load(std::memory_order_relaxed)) {
+  behaviors_.reserve(other.behaviors_.size());
+  for (const Behavior* b : other.behaviors_) {
+    behaviors_.push_back(b->NewCopy());
+  }
+}
+
+Agent::~Agent() {
+  for (Behavior* b : behaviors_) {
+    delete b;
+  }
+}
+
+void Agent::RemoveBehavior(const Behavior* behavior) {
+  auto it = std::find(behaviors_.begin(), behaviors_.end(), behavior);
+  if (it != behaviors_.end()) {
+    delete *it;
+    behaviors_.erase(it);
+  }
+}
+
+void Agent::ClearBehaviors() {
+  for (Behavior* b : behaviors_) {
+    delete b;
+  }
+  behaviors_.clear();
+}
+
+void Agent::RunBehaviors(ExecutionContext* ctx) {
+  // Behaviors may add or remove behaviors while running; iterate by index
+  // and re-check the bound each step.
+  for (size_t i = 0; i < behaviors_.size(); ++i) {
+    behaviors_[i]->Run(this, ctx);
+  }
+}
+
+void Agent::CopyBehaviorsTo(Agent* daughter) const {
+  for (const Behavior* b : behaviors_) {
+    if (b->CopyToNewAgent()) {
+      daughter->AddBehavior(b->NewCopy());
+    }
+  }
+}
+
+void Agent::ApplyDisplacement(const Real3& displacement, const Param& param) {
+  (void)param;
+  SetPosition(position_ + displacement);
+}
+
+void Agent::WriteState(std::ostream& out) const {
+  io::WriteScalar(out, uid_);
+  io::WriteReal3(out, position_);
+  io::WriteScalar<uint8_t>(out, is_static_);
+  io::WriteScalar<uint8_t>(out, propagate_staticness_);
+  io::WriteScalar<uint8_t>(out,
+                           is_static_next_.load(std::memory_order_relaxed));
+}
+
+void Agent::ReadState(std::istream& in) {
+  uid_ = io::ReadScalar<AgentUid>(in);
+  position_ = io::ReadReal3(in);
+  is_static_ = io::ReadScalar<uint8_t>(in) != 0;
+  propagate_staticness_ = io::ReadScalar<uint8_t>(in) != 0;
+  is_static_next_.store(io::ReadScalar<uint8_t>(in) != 0,
+                        std::memory_order_relaxed);
+}
+
+void* Agent::operator new(size_t size) {
+  if (auto* mm = MemoryManager::GetGlobal()) {
+    return mm->New(size);
+  }
+  return ::operator new(size);
+}
+
+void Agent::operator delete(void* p) {
+  if (auto* mm = MemoryManager::GetGlobal()) {
+    mm->Delete(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+void* Behavior::operator new(size_t size) {
+  if (auto* mm = MemoryManager::GetGlobal()) {
+    return mm->New(size);
+  }
+  return ::operator new(size);
+}
+
+void Behavior::operator delete(void* p) {
+  if (auto* mm = MemoryManager::GetGlobal()) {
+    mm->Delete(p);
+    return;
+  }
+  ::operator delete(p);
+}
+
+}  // namespace bdm

@@ -1,0 +1,31 @@
+// Physical location of an agent inside the ResourceManager: which NUMA
+// domain vector it lives in and at which index. Handles are invalidated by
+// removals and sorting; use AgentUid for stable references.
+#ifndef BDM_CORE_AGENT_HANDLE_H_
+#define BDM_CORE_AGENT_HANDLE_H_
+
+#include <cstdint>
+#include <ostream>
+
+namespace bdm {
+
+struct AgentHandle {
+  static constexpr uint64_t kInvalidIndex = ~uint64_t{0};
+
+  uint16_t numa_domain = 0;
+  uint64_t index = kInvalidIndex;
+
+  bool IsValid() const { return index != kInvalidIndex; }
+
+  friend bool operator==(const AgentHandle& a, const AgentHandle& b) {
+    return a.numa_domain == b.numa_domain && a.index == b.index;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const AgentHandle& h) {
+    return os << "(" << h.numa_domain << ", " << h.index << ")";
+  }
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_AGENT_HANDLE_H_

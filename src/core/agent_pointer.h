@@ -1,0 +1,52 @@
+// Stable cross-agent reference.
+//
+// Raw Agent* pointers are invalidated by the Morton sorting operation,
+// which *copies* agents to new memory locations (Section 4.2 step G).
+// AgentPointer stores the uid instead and resolves it through the active
+// simulation's uid map on every access, so references survive removal
+// swaps, re-sorting, and domain re-balancing. Neurite mother/daughter links
+// are the main user.
+#ifndef BDM_CORE_AGENT_POINTER_H_
+#define BDM_CORE_AGENT_POINTER_H_
+
+#include "core/agent_uid.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+
+namespace bdm {
+
+template <typename TAgent>
+class AgentPointer {
+ public:
+  AgentPointer() = default;
+  explicit AgentPointer(const AgentUid& uid) : uid_(uid) {}
+  explicit AgentPointer(const TAgent* agent)
+      : uid_(agent != nullptr ? agent->GetUid() : AgentUid{}) {}
+
+  const AgentUid& GetUid() const { return uid_; }
+
+  /// Resolves to the current object, or nullptr when the agent was removed
+  /// from the simulation.
+  TAgent* Get() const {
+    if (!uid_.IsValid()) {
+      return nullptr;
+    }
+    Agent* agent = Simulation::GetActive()->GetResourceManager()->GetAgent(uid_);
+    return static_cast<TAgent*>(agent);
+  }
+
+  TAgent* operator->() const { return Get(); }
+  TAgent& operator*() const { return *Get(); }
+  explicit operator bool() const { return Get() != nullptr; }
+
+  friend bool operator==(const AgentPointer& a, const AgentPointer& b) {
+    return a.uid_ == b.uid_;
+  }
+
+ private:
+  AgentUid uid_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_AGENT_POINTER_H_

@@ -1,0 +1,110 @@
+// Stable agent identity.
+//
+// Positions inside the ResourceManager change constantly (parallel removal
+// swaps, Morton re-sorting, domain balancing), so agents are identified by a
+// (index, reused) pair: `index` addresses a slot in the uid map and
+// `reused` disambiguates successive agents that recycled the same slot.
+// AgentUids stay valid across every reordering the engine performs and are
+// the basis of AgentPointer cross-agent references.
+#ifndef BDM_CORE_AGENT_UID_H_
+#define BDM_CORE_AGENT_UID_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+namespace bdm {
+
+class AgentUid {
+ public:
+  using Index = uint32_t;
+  using Reused = uint32_t;
+  static constexpr Reused kReusedMax = 0xFFFFFFFF;
+
+  constexpr AgentUid() : index_(0xFFFFFFFF), reused_(kReusedMax) {}
+  constexpr explicit AgentUid(Index index, Reused reused = 0)
+      : index_(index), reused_(reused) {}
+
+  constexpr Index index() const { return index_; }
+  constexpr Reused reused() const { return reused_; }
+
+  constexpr bool IsValid() const { return reused_ != kReusedMax; }
+
+  friend constexpr bool operator==(const AgentUid& a, const AgentUid& b) {
+    return a.index_ == b.index_ && a.reused_ == b.reused_;
+  }
+  friend constexpr bool operator<(const AgentUid& a, const AgentUid& b) {
+    return a.index_ != b.index_ ? a.index_ < b.index_ : a.reused_ < b.reused_;
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const AgentUid& uid) {
+    return os << uid.index_ << "-" << uid.reused_;
+  }
+
+ private:
+  Index index_;
+  Reused reused_;
+};
+
+/// Thread-safe generator of AgentUids. New uids come from an atomic counter;
+/// uids of removed agents are recycled through a small locked stack so the
+/// uid map does not grow without bound in simulations that delete agents
+/// (the oncology model).
+class AgentUidGenerator {
+ public:
+  AgentUid Generate() {
+    {
+      std::scoped_lock lock(mutex_);
+      if (!recycled_.empty()) {
+        AgentUid uid = recycled_.back();
+        recycled_.pop_back();
+        return AgentUid(uid.index(), uid.reused() + 1);
+      }
+    }
+    return AgentUid(counter_.fetch_add(1, std::memory_order_relaxed));
+  }
+
+  /// Makes the slot of `uid` available for reuse.
+  void Recycle(const AgentUid& uid) {
+    if (uid.reused() + 1 == AgentUid::kReusedMax) {
+      return;  // retire slots that exhausted their reuse counter
+    }
+    std::scoped_lock lock(mutex_);
+    recycled_.push_back(uid);
+  }
+
+  /// Upper bound (exclusive) of all indices handed out so far; the uid map
+  /// sizes itself with this.
+  AgentUid::Index HighWatermark() const {
+    return counter_.load(std::memory_order_relaxed);
+  }
+
+  /// Fast-forwards the counter to at least `watermark` so uids restored
+  /// from a checkpoint can never collide with freshly generated ones.
+  void RestoreWatermark(AgentUid::Index watermark) {
+    AgentUid::Index current = counter_.load(std::memory_order_relaxed);
+    while (current < watermark &&
+           !counter_.compare_exchange_weak(current, watermark,
+                                           std::memory_order_relaxed)) {
+    }
+  }
+
+ private:
+  std::atomic<AgentUid::Index> counter_{0};
+  std::mutex mutex_;
+  std::vector<AgentUid> recycled_;
+};
+
+}  // namespace bdm
+
+template <>
+struct std::hash<bdm::AgentUid> {
+  size_t operator()(const bdm::AgentUid& uid) const noexcept {
+    return (static_cast<size_t>(uid.index()) << 32) ^ uid.reused();
+  }
+};
+
+#endif  // BDM_CORE_AGENT_UID_H_

@@ -1,0 +1,54 @@
+// Behaviors: per-agent actions (paper Section 2).
+//
+// A behavior is attached to individual agents and executed once per
+// iteration by the behavior agent-operation. Behaviors are heap objects
+// owned by their agent; with the BDM memory manager enabled their
+// allocations are pooled per size class and NUMA domain exactly like agents
+// (Section 4.3 lists "agents and behaviors" as the covered objects).
+#ifndef BDM_CORE_BEHAVIOR_H_
+#define BDM_CORE_BEHAVIOR_H_
+
+#include <cstddef>
+#include <iosfwd>
+
+namespace bdm {
+
+class Agent;
+class ExecutionContext;
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  /// Executes the behavior for `agent`. `ctx` provides the thread's RNG and
+  /// buffers agent additions/removals until the end of the iteration.
+  virtual void Run(Agent* agent, ExecutionContext* ctx) = 0;
+
+  /// Polymorphic copy, used when an agent divides and the daughter inherits
+  /// the behavior. Implementations return `new Concrete(*this)`.
+  virtual Behavior* NewCopy() const = 0;
+
+  /// Whether a daughter agent created by cell division receives a copy of
+  /// this behavior.
+  virtual bool CopyToNewAgent() const { return true; }
+
+  // --- checkpointing (io/checkpoint.h) ---------------------------------------
+  /// Parameter serialization; the default covers stateless behaviors.
+  /// Overrides must mirror the field order between Write and Read.
+  virtual void WriteState(std::ostream& out) const { (void)out; }
+  virtual void ReadState(std::istream& in) { (void)in; }
+
+  // Route allocations through the pool allocator when it is enabled; see
+  // memory/memory_manager.h.
+  static void* operator new(size_t size);
+  static void operator delete(void* p);
+
+ protected:
+  Behavior() = default;
+  Behavior(const Behavior&) = default;
+  Behavior& operator=(const Behavior&) = default;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_BEHAVIOR_H_

@@ -1,0 +1,70 @@
+// Spherical cell agent.
+//
+// The workhorse agent of the paper's benchmark simulations (proliferation,
+// clustering, epidemiology, oncology, cell sorting all use spheres). Tracks
+// diameter/volume, supports growth and division, and implements the
+// mechanics hooks against the Cortex3D-style interaction force.
+#ifndef BDM_CORE_CELL_H_
+#define BDM_CORE_CELL_H_
+
+#include <cstdint>
+
+#include "core/agent.h"
+
+namespace bdm {
+
+class Cell : public Agent {
+ public:
+  Cell() = default;
+  explicit Cell(real_t diameter) : diameter_(diameter) {}
+  Cell(const Real3& position, real_t diameter) : diameter_(diameter) {
+    SetPosition(position);
+  }
+  Cell(const Cell& other) = default;
+
+  real_t GetDiameter() const override { return diameter_; }
+
+  /// Growth (a larger diameter can increase pairwise forces) wakes the
+  /// agent and its neighbors; shrinking is safe under the Section 5 rules
+  /// and changes no staticness flags.
+  void SetDiameter(real_t diameter) override {
+    if (diameter > diameter_) {
+      FlagModified(/*affects_neighbors=*/true);
+    }
+    diameter_ = diameter;
+  }
+
+  real_t GetVolume() const;
+  /// Adjusts the volume by `delta` (micrometers^3) and recomputes the
+  /// diameter. Negative deltas shrink the cell down to a minimum diameter.
+  void ChangeVolume(real_t delta);
+
+  /// Arbitrary model-defined type tag (used by the clustering and
+  /// cell-sorting models to distinguish populations).
+  int GetCellType() const { return cell_type_; }
+  void SetCellType(int type) { cell_type_ = type; }
+
+  /// Cell division: the mother splits its volume with a daughter displaced
+  /// along `axis`. The daughter inherits type and behaviors (subject to
+  /// Behavior::CopyToNewAgent) and is committed at the end of the iteration.
+  /// Returns the daughter (already uid-assigned, owned by the engine).
+  Cell* Divide(ExecutionContext* ctx, const Real3& axis,
+               real_t volume_ratio = real_t{0.5});
+
+  Agent* NewCopy() const override { return new Cell(*this); }
+
+  Real3 CalculateDisplacement(const InteractionForce* force, Environment* env,
+                              const Param& param,
+                              int* non_zero_forces) override;
+
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  real_t diameter_ = 10;
+  int cell_type_ = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_CELL_H_

@@ -1,0 +1,71 @@
+#include "core/default_ops.h"
+
+#include "continuum/diffusion_grid.h"
+#include "core/agent.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "env/environment.h"
+#include "physics/interaction_force.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+void UpdateEnvironmentOp::Run(Simulation* sim) {
+  sim->GetEnvironment()->Update(*sim->GetResourceManager(), sim->GetThreadPool());
+}
+
+void StaticnessOp::Run(Simulation* sim) {
+  auto* rm = sim->GetResourceManager();
+  auto* env = sim->GetEnvironment();
+  const real_t radius = env->GetInteractionRadius();
+  const real_t squared_radius = radius * radius;
+  // Pass 1: agents whose change can increase forces on their neighbors wake
+  // every agent within the interaction radius (conditions i-iii of
+  // Section 5 from the neighbors' point of view).
+  rm->ForEachAgentParallel([&](Agent* agent, AgentHandle, int) {
+    if (!agent->PropagatesStaticness()) {
+      return;
+    }
+    env->ForEachNeighbor(*agent, squared_radius,
+                         [](Agent* neighbor, real_t) { neighbor->WakeUp(); });
+  });
+  // Pass 2: promote next-iteration flags. Separate pass: pass 1 must have
+  // observed all propagate flags before any of them is cleared.
+  rm->ForEachAgentParallel(
+      [](Agent* agent, AgentHandle, int) { agent->UpdateStaticness(); });
+}
+
+void BehaviorOp::Run(Agent* agent, AgentHandle, int tid, Simulation* sim) {
+  agent->RunBehaviors(sim->GetExecutionContext(tid));
+}
+
+void MechanicalForcesOp::Run(Agent* agent, AgentHandle, int, Simulation* sim) {
+  const Param& param = sim->GetParam();
+  if (param.detect_static_agents && agent->IsStatic()) {
+    return;  // the expensive pairwise force loop is provably redundant
+  }
+  int non_zero_forces = 0;
+  const Real3 displacement = agent->CalculateDisplacement(
+      sim->GetInteractionForce(), sim->GetEnvironment(), param, &non_zero_forces);
+  // Condition iv of Section 5: with two or more non-zero neighbor forces,
+  // cancellation is possible and shrinking/removal of one neighbor could
+  // unbalance it -- such an agent must not become static.
+  if (non_zero_forces > 1) {
+    agent->WakeUp();
+  }
+  if (displacement.SquaredNorm() > 0) {
+    agent->ApplyDisplacement(displacement, param);
+  }
+}
+
+void DiffusionOp::Run(Simulation* sim) {
+  for (DiffusionGrid* grid : sim->GetAllDiffusionGrids()) {
+    grid->Step(sim->GetParam().dt, sim->GetThreadPool());
+  }
+}
+
+void CommitOp::Run(Simulation* sim) {
+  sim->GetResourceManager()->Commit(sim->GetAllExecutionContexts());
+}
+
+}  // namespace bdm

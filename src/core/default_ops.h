@@ -1,0 +1,62 @@
+// The engine's default operation pipeline.
+//
+// Pre-standalone: agent sorting/balancing (Section 4.2), environment update
+// (Section 3.1), staticness propagation (Section 5). Agent operations:
+// behaviors, then mechanical forces. Post-standalone: diffusion and the
+// commit of buffered additions/removals (Section 3.2).
+#ifndef BDM_CORE_DEFAULT_OPS_H_
+#define BDM_CORE_DEFAULT_OPS_H_
+
+#include "core/operation.h"
+
+namespace bdm {
+
+/// Rebuilds the environment index (paper Algorithm 1, pre-standalone).
+class UpdateEnvironmentOp : public StandaloneOperation {
+ public:
+  UpdateEnvironmentOp() : StandaloneOperation("environment_update", 1) {}
+  void Run(Simulation* sim) override;
+};
+
+/// Propagates staticness resets to neighbors and promotes the
+/// next-iteration flags (Section 5). Only scheduled when
+/// param.detect_static_agents is set.
+class StaticnessOp : public StandaloneOperation {
+ public:
+  StaticnessOp() : StandaloneOperation("staticness", 1) {}
+  void Run(Simulation* sim) override;
+};
+
+/// Executes every behavior of the agent.
+class BehaviorOp : public AgentOperation {
+ public:
+  BehaviorOp() : AgentOperation("behaviors", 1) {}
+  void Run(Agent* agent, AgentHandle handle, int tid, Simulation* sim) override;
+};
+
+/// Computes pairwise collision forces and applies the resulting
+/// displacement; honors the static-agent shortcut (Section 5).
+class MechanicalForcesOp : public AgentOperation {
+ public:
+  MechanicalForcesOp() : AgentOperation("mechanical_forces", 1) {}
+  void Run(Agent* agent, AgentHandle handle, int tid, Simulation* sim) override;
+};
+
+/// Advances all registered diffusion grids by param.dt.
+class DiffusionOp : public StandaloneOperation {
+ public:
+  DiffusionOp() : StandaloneOperation("diffusion", 1) {}
+  void Run(Simulation* sim) override;
+};
+
+/// Commits the thread-local addition/removal buffers to the
+/// ResourceManager (paper Section 3.2; "setup and tear down" in Figure 5).
+class CommitOp : public StandaloneOperation {
+ public:
+  CommitOp() : StandaloneOperation("commit", 1) {}
+  void Run(Simulation* sim) override;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_DEFAULT_OPS_H_

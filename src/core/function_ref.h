@@ -1,0 +1,44 @@
+// Non-owning callable reference.
+//
+// Neighbor iteration invokes a callback once per neighbor in the innermost
+// loop of the whole engine; std::function's type erasure (potential heap
+// allocation, two indirect calls) is too heavy there. FunctionRef stores a
+// void* to the callable plus one trampoline pointer -- the usual
+// function_ref idiom, pending std::function_ref (C++26).
+#ifndef BDM_CORE_FUNCTION_REF_H_
+#define BDM_CORE_FUNCTION_REF_H_
+
+#include <type_traits>
+#include <utility>
+
+namespace bdm {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : object_(const_cast<void*>(static_cast<const void*>(&f))),
+        trampoline_([](void* object, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(object))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return trampoline_(object_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* object_;
+  R (*trampoline_)(void*, Args...);
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_FUNCTION_REF_H_

@@ -1,0 +1,36 @@
+// Agent sorting and NUMA balancing (paper Section 4.2, Figure 3).
+//
+// Runs as a pre-standalone operation with a configurable frequency
+// (param.agent_sort_frequency, studied in Figure 12). The operation:
+//   1. refreshes the uniform grid so box contents match the committed state,
+//   2. derives the Morton-ordered sequence of in-space boxes via the
+//      linear-time gap algorithm (spatial/morton.h),
+//   3. prefix-sums per-box agent counts and cuts the sequence into one
+//      segment per NUMA domain (share proportional to its thread count) and
+//      per thread (equal share within a domain),
+//   4. each thread *copies* its segment's agents into fresh allocations --
+//      made by itself, so the pool allocator places them in its own domain
+//      -- and writes the new pointers into rebuilt per-domain vectors.
+// Old agent objects are freed immediately after each copy, or after the
+// whole step when param.sort_with_extra_memory is set (the "extra memory"
+// variant of Figure 9).
+//
+// Only the uniform grid environment supports this operation (as in the
+// paper); with other environments it is a no-op.
+#ifndef BDM_CORE_LOAD_BALANCE_OP_H_
+#define BDM_CORE_LOAD_BALANCE_OP_H_
+
+#include "core/operation.h"
+
+namespace bdm {
+
+class LoadBalanceOp : public StandaloneOperation {
+ public:
+  explicit LoadBalanceOp(int frequency)
+      : StandaloneOperation("load_balancing", frequency) {}
+  void Run(Simulation* sim) override;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_LOAD_BALANCE_OP_H_

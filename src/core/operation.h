@@ -1,0 +1,54 @@
+// Operations (paper Section 2, Algorithm 1).
+//
+// Agent operations run once per agent inside the parallel loop; standalone
+// operations run once per iteration, either before the agent loop ("pre",
+// e.g. updating the environment index) or after it ("post", e.g. committing
+// agent additions/removals). Both kinds carry an execution frequency, which
+// the agent sorting operation of Section 4.2 (Figure 12) relies on.
+#ifndef BDM_CORE_OPERATION_H_
+#define BDM_CORE_OPERATION_H_
+
+#include <string>
+
+#include "core/agent_handle.h"
+
+namespace bdm {
+
+class Agent;
+class Simulation;
+
+class OperationBase {
+ public:
+  OperationBase(std::string name, int frequency)
+      : name_(std::move(name)), frequency_(frequency < 1 ? 1 : frequency) {}
+  virtual ~OperationBase() = default;
+
+  const std::string& GetName() const { return name_; }
+  int GetFrequency() const { return frequency_; }
+  void SetFrequency(int frequency) { frequency_ = frequency < 1 ? 1 : frequency; }
+
+  /// True when the operation is due at the given iteration counter.
+  bool IsDue(uint64_t iteration) const { return iteration % frequency_ == 0; }
+
+ private:
+  std::string name_;
+  int frequency_;
+};
+
+/// Executed for each agent (paper Algorithm 1, L7-11).
+class AgentOperation : public OperationBase {
+ public:
+  using OperationBase::OperationBase;
+  virtual void Run(Agent* agent, AgentHandle handle, int tid, Simulation* sim) = 0;
+};
+
+/// Executed once per iteration (paper Algorithm 1, L3-5 / L12-18).
+class StandaloneOperation : public OperationBase {
+ public:
+  using OperationBase::OperationBase;
+  virtual void Run(Simulation* sim) = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_OPERATION_H_

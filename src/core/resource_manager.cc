@@ -1,0 +1,411 @@
+#include "core/resource_manager.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace bdm {
+
+namespace {
+constexpr uint64_t kMax = ~uint64_t{0};
+}  // namespace
+
+ResourceManager::ResourceManager(const Param& param, NumaThreadPool* pool,
+                                 AgentUidGenerator* uid_generator)
+    : param_(param), pool_(pool), uid_generator_(uid_generator) {
+  agents_.resize(pool_->topology().NumDomains());
+}
+
+ResourceManager::~ResourceManager() {
+  for (auto& domain : agents_) {
+    for (Agent* a : domain) {
+      delete a;
+    }
+  }
+}
+
+uint64_t ResourceManager::GetNumAgents() const {
+  uint64_t total = 0;
+  for (const auto& domain : agents_) {
+    total += domain.size();
+  }
+  return total;
+}
+
+Agent* ResourceManager::GetAgent(const AgentUid& uid) const {
+  if (!uid.IsValid() || uid.index() >= uid_map_.size()) {
+    return nullptr;
+  }
+  const UidMapEntry& entry = uid_map_[uid.index()];
+  return entry.reused == uid.reused() ? entry.agent : nullptr;
+}
+
+AgentHandle ResourceManager::GetAgentHandle(const AgentUid& uid) const {
+  if (!uid.IsValid() || uid.index() >= uid_map_.size()) {
+    return {};
+  }
+  const UidMapEntry& entry = uid_map_[uid.index()];
+  return entry.reused == uid.reused() ? entry.handle : AgentHandle{};
+}
+
+void ResourceManager::EnsureUidMapCapacity() {
+  const AgentUid::Index watermark = uid_generator_->HighWatermark();
+  if (watermark > uid_map_.size()) {
+    uid_map_.resize(std::max<size_t>(watermark, uid_map_.size() * 2));
+  }
+}
+
+void ResourceManager::RegisterAgent(Agent* agent, AgentHandle handle) {
+  const AgentUid& uid = agent->GetUid();
+  UidMapEntry& entry = uid_map_[uid.index()];
+  entry.agent = agent;
+  entry.reused = uid.reused();
+  entry.handle = handle;
+}
+
+void ResourceManager::UnregisterAgent(const AgentUid& uid) {
+  UidMapEntry& entry = uid_map_[uid.index()];
+  entry.agent = nullptr;
+  entry.reused = AgentUid::kReusedMax;
+  entry.handle = {};
+}
+
+void ResourceManager::AddAgent(Agent* agent) {
+  if (!agent->GetUid().IsValid()) {
+    agent->SetUid(uid_generator_->Generate());
+  }
+  EnsureUidMapCapacity();
+  const int domain = round_robin_domain_;
+  round_robin_domain_ = (round_robin_domain_ + 1) % GetNumDomains();
+  agents_[domain].push_back(agent);
+  RegisterAgent(agent, {static_cast<uint16_t>(domain), agents_[domain].size() - 1});
+}
+
+void ResourceManager::ForEachAgent(
+    const std::function<void(Agent*, AgentHandle)>& fn) const {
+  for (uint16_t d = 0; d < agents_.size(); ++d) {
+    for (uint64_t i = 0; i < agents_[d].size(); ++i) {
+      fn(agents_[d][i], {d, i});
+    }
+  }
+}
+
+void ResourceManager::ForEachAgentParallel(const AgentFn& fn) const {
+  const int64_t block_size = std::max<int64_t>(param_.iteration_block_size, 1);
+  std::vector<int64_t> blocks_per_domain(agents_.size());
+  for (size_t d = 0; d < agents_.size(); ++d) {
+    blocks_per_domain[d] =
+        (static_cast<int64_t>(agents_[d].size()) + block_size - 1) / block_size;
+  }
+  pool_->ForEachBlock(
+      blocks_per_domain, param_.numa_aware_iteration,
+      [&](int d, int64_t block, int tid) {
+        const auto& domain = agents_[d];
+        const uint64_t lo = static_cast<uint64_t>(block) * block_size;
+        const uint64_t hi =
+            std::min<uint64_t>(lo + block_size, domain.size());
+        for (uint64_t i = lo; i < hi; ++i) {
+          fn(domain[i], {static_cast<uint16_t>(d), i}, tid);
+        }
+      });
+}
+
+std::pair<uint64_t, uint64_t> ResourceManager::Commit(
+    const std::vector<ExecutionContext*>& contexts) {
+  // Gather removal uids from all contexts.
+  std::vector<AgentUid> removals;
+  uint64_t num_added = 0;
+  for (ExecutionContext* ctx : contexts) {
+    removals.insert(removals.end(), ctx->removed_agents().begin(),
+                    ctx->removed_agents().end());
+    num_added += ctx->new_agents().size();
+  }
+  const uint64_t num_removed = removals.size();
+
+  // Removals first: their index arithmetic is relative to the pre-addition
+  // vector sizes.
+  if (!removals.empty()) {
+    // An agent that was added and removed within the same iteration is not
+    // in the uid map yet; drop it from the addition buffers directly.
+    for (auto it = removals.begin(); it != removals.end();) {
+      if (GetAgentHandle(*it).IsValid()) {
+        ++it;
+        continue;
+      }
+      for (ExecutionContext* ctx : contexts) {
+        auto& fresh = ctx->new_agents();
+        auto pos = std::find_if(fresh.begin(), fresh.end(), [&](Agent* a) {
+          return a->GetUid() == *it;
+        });
+        if (pos != fresh.end()) {
+          delete *pos;
+          fresh.erase(pos);
+          --num_added;
+          break;
+        }
+      }
+      it = removals.erase(it);
+    }
+    if (param_.parallel_commit) {
+      CommitRemovalsParallel(removals);
+    } else {
+      CommitRemovalsSerial(removals);
+    }
+  }
+
+  if (num_added > 0) {
+    if (param_.parallel_commit) {
+      CommitAdditionsParallel(contexts);
+    } else {
+      CommitAdditionsSerial(contexts);
+    }
+  }
+  for (ExecutionContext* ctx : contexts) {
+    ctx->ClearBuffers();
+  }
+  return {num_added, num_removed};
+}
+
+// ---------------------------------------------------------------------------
+// Removals
+// ---------------------------------------------------------------------------
+
+void ResourceManager::CommitRemovalsSerial(std::vector<AgentUid>& removals) {
+  for (const AgentUid& uid : removals) {
+    const AgentHandle handle = GetAgentHandle(uid);
+    if (!handle.IsValid()) {
+      continue;  // duplicate removal request
+    }
+    auto& domain = agents_[handle.numa_domain];
+    Agent* doomed = domain[handle.index];
+    Agent* last = domain.back();
+    domain[handle.index] = last;
+    domain.pop_back();
+    if (last != doomed) {
+      UpdateUidMapPosition(last->GetUid(), handle);
+    }
+    UnregisterAgent(uid);
+    uid_generator_->Recycle(uid);
+    delete doomed;
+  }
+}
+
+void ResourceManager::CommitRemovalsParallel(std::vector<AgentUid>& removals) {
+  // Group removal indices per NUMA domain; capture doomed pointers before
+  // any swap overwrites their slots.
+  std::vector<std::vector<uint64_t>> per_domain(GetNumDomains());
+  std::vector<Agent*> doomed;
+  doomed.reserve(removals.size());
+  for (const AgentUid& uid : removals) {
+    const AgentHandle handle = GetAgentHandle(uid);
+    if (!handle.IsValid()) {
+      continue;  // duplicate removal request
+    }
+    per_domain[handle.numa_domain].push_back(handle.index);
+    doomed.push_back(agents_[handle.numa_domain][handle.index]);
+    UnregisterAgent(uid);
+    uid_generator_->Recycle(uid);
+  }
+  for (int d = 0; d < GetNumDomains(); ++d) {
+    RemoveFromDomainParallel(d, per_domain[d]);
+  }
+  // Destroy removed agents in parallel; destruction releases behaviors too.
+  pool_->ParallelFor(0, static_cast<int64_t>(doomed.size()), 64,
+                     [&](int64_t lo, int64_t hi, int) {
+                       for (int64_t i = lo; i < hi; ++i) {
+                         delete doomed[i];
+                       }
+                     });
+}
+
+void ResourceManager::RemoveFromDomainParallel(
+    int domain, const std::vector<uint64_t>& removed_idx) {
+  auto& agents = agents_[domain];
+  const uint64_t num_removed = removed_idx.size();
+  if (num_removed == 0) {
+    return;
+  }
+  assert(num_removed <= agents.size());
+  const uint64_t new_size = agents.size() - num_removed;
+
+  // Below this batch size the pool dispatches cost more than the work; the
+  // serial swap loop is the same algorithm with one thread.
+  if (num_removed < 512) {
+    std::vector<uint64_t> sorted(removed_idx);
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    uint64_t back = agents.size();
+    for (uint64_t idx : sorted) {
+      --back;
+      if (idx != back) {
+        Agent* moved = agents[back];
+        agents[idx] = moved;
+        UpdateUidMapPosition(moved->GetUid(),
+                             {static_cast<uint16_t>(domain), idx});
+      }
+    }
+    agents.resize(new_size);
+    return;
+  }
+
+  // Step 1: auxiliary arrays, both sized by the number of removed agents --
+  // the whole algorithm is O(#removed), independent of #remaining agents.
+  std::vector<uint64_t> to_right(num_removed, kMax);
+  std::vector<uint8_t> not_to_left(num_removed, 0);
+
+  // Step 2: classify every removed index. Indices left of new_size leave a
+  // hole that a live agent must fill (to_right); indices right of new_size
+  // mark their slot as "already dead, nothing to move" (not_to_left).
+  pool_->ParallelFor(0, static_cast<int64_t>(num_removed), 1024,
+                     [&](int64_t lo, int64_t hi, int) {
+                       for (int64_t k = lo; k < hi; ++k) {
+                         const uint64_t idx = removed_idx[k];
+                         if (idx < new_size) {
+                           to_right[k] = idx;
+                         } else {
+                           not_to_left[idx - new_size] = 1;
+                         }
+                       }
+                     });
+
+  // Step 3: per-thread blocks compact both arrays. not_to_left flips its
+  // meaning to to_left: zeros identify live agents right of new_size that
+  // must move left; their absolute index is block_index + new_size.
+  const int num_threads = pool_->NumThreads();
+  const uint64_t block =
+      (num_removed + num_threads - 1) / static_cast<uint64_t>(num_threads);
+  std::vector<uint64_t> to_left(num_removed);
+  std::vector<uint64_t> swaps_right(num_threads + 1, 0);
+  std::vector<uint64_t> swaps_left(num_threads + 1, 0);
+  pool_->Run([&](int tid) {
+    const uint64_t lo = static_cast<uint64_t>(tid) * block;
+    const uint64_t hi = std::min<uint64_t>(lo + block, num_removed);
+    if (lo >= hi) {
+      return;
+    }
+    uint64_t right_cursor = lo;
+    for (uint64_t k = lo; k < hi; ++k) {
+      if (to_right[k] != kMax) {
+        to_right[right_cursor++] = to_right[k];
+      }
+    }
+    swaps_right[tid + 1] = right_cursor - lo;
+    uint64_t left_cursor = lo;
+    for (uint64_t j = lo; j < hi; ++j) {
+      if (not_to_left[j] == 0) {
+        to_left[left_cursor++] = j + new_size;
+      }
+    }
+    swaps_left[tid + 1] = left_cursor - lo;
+  });
+
+  // Step 4: prefix-sum the per-block swap counts (tiny arrays, serial) and
+  // execute the swaps in parallel. The number of holes left of new_size
+  // always equals the number of live agents right of it.
+  std::partial_sum(swaps_right.begin(), swaps_right.end(), swaps_right.begin());
+  std::partial_sum(swaps_left.begin(), swaps_left.end(), swaps_left.begin());
+  const uint64_t num_swaps = swaps_right[num_threads];
+  assert(num_swaps == swaps_left[num_threads]);
+  std::vector<uint64_t> compact_right(num_swaps);
+  std::vector<uint64_t> compact_left(num_swaps);
+  pool_->Run([&](int tid) {
+    const uint64_t lo = static_cast<uint64_t>(tid) * block;
+    if (lo >= num_removed) {
+      return;
+    }
+    std::copy_n(to_right.begin() + lo, swaps_right[tid + 1] - swaps_right[tid],
+                compact_right.begin() + swaps_right[tid]);
+    std::copy_n(to_left.begin() + lo, swaps_left[tid + 1] - swaps_left[tid],
+                compact_left.begin() + swaps_left[tid]);
+  });
+  pool_->ParallelFor(
+      0, static_cast<int64_t>(num_swaps), 512, [&](int64_t lo, int64_t hi, int) {
+        for (int64_t k = lo; k < hi; ++k) {
+          const uint64_t dst = compact_right[k];
+          const uint64_t src = compact_left[k];
+          Agent* moved = agents[src];
+          agents[dst] = moved;
+          UpdateUidMapPosition(moved->GetUid(),
+                               {static_cast<uint16_t>(domain), dst});
+        }
+      });
+
+  // Step 5: shrink.
+  agents.resize(new_size);
+}
+
+void ResourceManager::ReplaceAgentVectors(
+    std::vector<std::vector<Agent*>>&& new_vectors) {
+  assert(new_vectors.size() == agents_.size());
+  agents_ = std::move(new_vectors);
+  // Agent sorting copies agents to new memory locations, so both the pointer
+  // and the handle of every uid-map entry must be refreshed.
+  for (uint16_t d = 0; d < agents_.size(); ++d) {
+    auto& domain = agents_[d];
+    pool_->ParallelFor(0, static_cast<int64_t>(domain.size()), 4096,
+                       [&](int64_t lo, int64_t hi, int) {
+                         for (int64_t i = lo; i < hi; ++i) {
+                           RegisterAgent(domain[i],
+                                         {d, static_cast<uint64_t>(i)});
+                         }
+                       });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Additions
+// ---------------------------------------------------------------------------
+
+void ResourceManager::CommitAdditionsSerial(
+    const std::vector<ExecutionContext*>& contexts) {
+  EnsureUidMapCapacity();
+  for (ExecutionContext* ctx : contexts) {
+    const int domain = ctx->numa_domain();
+    for (Agent* agent : ctx->new_agents()) {
+      agents_[domain].push_back(agent);
+      RegisterAgent(agent, {static_cast<uint16_t>(domain),
+                            agents_[domain].size() - 1});
+    }
+  }
+}
+
+void ResourceManager::CommitAdditionsParallel(
+    const std::vector<ExecutionContext*>& contexts) {
+  EnsureUidMapCapacity();
+  // Reserve a contiguous range per context inside its domain's vector. The
+  // "grow the data structures" step is the only serial part (the vector
+  // resize); the pointer writes and uid-map registration happen in parallel.
+  const int num_contexts = static_cast<int>(contexts.size());
+  std::vector<uint64_t> offset(num_contexts);
+  std::vector<uint64_t> domain_growth(GetNumDomains(), 0);
+  for (int c = 0; c < num_contexts; ++c) {
+    const int d = contexts[c]->numa_domain();
+    offset[c] = agents_[d].size() + domain_growth[d];
+    domain_growth[d] += contexts[c]->new_agents().size();
+  }
+  for (int d = 0; d < GetNumDomains(); ++d) {
+    agents_[d].resize(agents_[d].size() + domain_growth[d]);
+  }
+  // Contexts outnumber workers by one (the main thread's context, index 0);
+  // worker tid fills context tid + 1 and worker 0 also fills context 0.
+  auto fill = [&](int c) {
+    const int d = contexts[c]->numa_domain();
+    auto& domain = agents_[d];
+    uint64_t index = offset[c];
+    for (Agent* agent : contexts[c]->new_agents()) {
+      domain[index] = agent;
+      RegisterAgent(agent, {static_cast<uint16_t>(d), index});
+      ++index;
+    }
+  };
+  pool_->Run([&](int tid) {
+    if (tid + 1 < num_contexts) {
+      fill(tid + 1);
+    }
+    if (tid == 0) {
+      fill(0);
+    }
+  });
+}
+
+}  // namespace bdm

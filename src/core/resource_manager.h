@@ -1,0 +1,117 @@
+// ResourceManager: the agent store (paper Sections 3.1, 3.2, 4.1, 4.2).
+//
+// Agents live in one pointer vector per NUMA domain; no empty slots are
+// allowed, so removing from the middle swaps with the tail. A uid map
+// translates stable AgentUids to (pointer, handle) and is updated by every
+// operation that relocates agents: the parallel removal algorithm of
+// Section 3.2, and the Morton sorting/balancing of Section 4.2 (which swaps
+// in completely rebuilt vectors via ReplaceAgentVectors).
+#ifndef BDM_CORE_RESOURCE_MANAGER_H_
+#define BDM_CORE_RESOURCE_MANAGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/agent.h"
+#include "core/agent_handle.h"
+#include "core/agent_uid.h"
+#include "core/execution_context.h"
+#include "core/param.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+class ResourceManager {
+ public:
+  /// Callback for parallel iteration: agent, its handle, worker thread id.
+  using AgentFn = std::function<void(Agent*, AgentHandle, int)>;
+
+  ResourceManager(const Param& param, NumaThreadPool* pool,
+                  AgentUidGenerator* uid_generator);
+  ~ResourceManager();
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  // --- queries ---------------------------------------------------------------
+  uint64_t GetNumAgents() const;
+  uint64_t GetNumAgents(int numa_domain) const {
+    return agents_[numa_domain].size();
+  }
+  int GetNumDomains() const { return static_cast<int>(agents_.size()); }
+
+  Agent* GetAgent(const AgentUid& uid) const;
+  AgentHandle GetAgentHandle(const AgentUid& uid) const;
+  Agent* GetAgent(const AgentHandle& handle) const {
+    return agents_[handle.numa_domain][handle.index];
+  }
+  bool ContainsAgent(const AgentUid& uid) const { return GetAgent(uid) != nullptr; }
+
+  // --- mutation --------------------------------------------------------------
+  /// Serial addition used during model initialization. Takes ownership and
+  /// assigns a uid when the agent has none. Agents are spread round-robin
+  /// over domains (the Morton balancing later replaces this with a spatial
+  /// partition).
+  void AddAgent(Agent* agent);
+
+  /// Commits all buffered additions and removals from the per-thread
+  /// execution contexts. Uses the parallel algorithms of Section 3.2 when
+  /// param.parallel_commit is set, a serial reference implementation
+  /// otherwise. Returns {#added, #removed}.
+  std::pair<uint64_t, uint64_t> Commit(
+      const std::vector<ExecutionContext*>& contexts);
+
+  // --- iteration --------------------------------------------------------------
+  /// Serial iteration over all agents (domain by domain).
+  void ForEachAgent(const std::function<void(Agent*, AgentHandle)>& fn) const;
+
+  /// NUMA-aware parallel iteration (paper Section 4.1): per-domain vectors
+  /// are split into blocks of param.iteration_block_size agents, blocks are
+  /// assigned to threads of the matching domain, idle threads steal.
+  void ForEachAgentParallel(const AgentFn& fn) const;
+
+  // --- support for agent sorting (Section 4.2) -------------------------------
+  const std::vector<Agent*>& GetAgentVector(int numa_domain) const {
+    return agents_[numa_domain];
+  }
+  /// Replaces all per-domain vectors at once and rebuilds uid-map handles
+  /// (and pointers, since sorting copies agents to new memory locations).
+  void ReplaceAgentVectors(std::vector<std::vector<Agent*>>&& new_vectors);
+
+  /// Direct handle update, used by the removal swaps.
+  void UpdateUidMapPosition(const AgentUid& uid, AgentHandle handle) {
+    uid_map_[uid.index()].handle = handle;
+  }
+
+ private:
+  struct UidMapEntry {
+    Agent* agent = nullptr;
+    AgentUid::Reused reused = AgentUid::kReusedMax;
+    AgentHandle handle;
+  };
+
+  void EnsureUidMapCapacity();
+  void RegisterAgent(Agent* agent, AgentHandle handle);
+  void UnregisterAgent(const AgentUid& uid);
+
+  void CommitRemovalsSerial(std::vector<AgentUid>& removals);
+  void CommitRemovalsParallel(std::vector<AgentUid>& removals);
+  /// The five-step parallel removal of Section 3.2, for one domain.
+  void RemoveFromDomainParallel(int domain, const std::vector<uint64_t>& removed_idx);
+
+  void CommitAdditionsSerial(const std::vector<ExecutionContext*>& contexts);
+  void CommitAdditionsParallel(const std::vector<ExecutionContext*>& contexts);
+
+  const Param& param_;
+  NumaThreadPool* pool_;
+  AgentUidGenerator* uid_generator_;
+
+  std::vector<std::vector<Agent*>> agents_;  // one vector per NUMA domain
+  std::vector<UidMapEntry> uid_map_;
+  int round_robin_domain_ = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_RESOURCE_MANAGER_H_

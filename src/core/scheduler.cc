@@ -1,0 +1,123 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+#include "core/default_ops.h"
+#include "core/load_balance_op.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "core/timing.h"
+
+namespace bdm {
+
+Scheduler::Scheduler(Simulation* sim) : sim_(sim) {
+  const Param& param = sim_->GetParam();
+  // Pre-standalone: sorting must precede the environment update so the
+  // index that agent operations use is built over the *new* agent objects.
+  if (param.agent_sort_frequency > 0) {
+    pre_ops_.push_back(std::make_unique<LoadBalanceOp>(param.agent_sort_frequency));
+  }
+  pre_ops_.push_back(std::make_unique<UpdateEnvironmentOp>());
+  if (param.detect_static_agents) {
+    pre_ops_.push_back(std::make_unique<StaticnessOp>());
+  }
+  agent_ops_.push_back(std::make_unique<BehaviorOp>());
+  agent_ops_.push_back(std::make_unique<MechanicalForcesOp>());
+  post_ops_.push_back(std::make_unique<DiffusionOp>());
+  post_ops_.push_back(std::make_unique<CommitOp>());
+}
+
+Scheduler::~Scheduler() = default;
+
+bool Scheduler::RemoveOp(const std::string& name) {
+  auto erase_from = [&](auto& ops) {
+    auto it = std::find_if(ops.begin(), ops.end(),
+                           [&](const auto& op) { return op->GetName() == name; });
+    if (it == ops.end()) {
+      return false;
+    }
+    ops.erase(it);
+    return true;
+  };
+  return erase_from(pre_ops_) || erase_from(agent_ops_) || erase_from(post_ops_);
+}
+
+OperationBase* Scheduler::GetOp(const std::string& name) {
+  for (auto& op : pre_ops_) {
+    if (op->GetName() == name) {
+      return op.get();
+    }
+  }
+  for (auto& op : agent_ops_) {
+    if (op->GetName() == name) {
+      return op.get();
+    }
+  }
+  for (auto& op : post_ops_) {
+    if (op->GetName() == name) {
+      return op.get();
+    }
+  }
+  return nullptr;
+}
+
+void Scheduler::Simulate(uint64_t iterations) {
+  for (uint64_t i = 0; i < iterations; ++i) {
+    ExecuteIteration();
+  }
+}
+
+uint64_t Scheduler::SimulateUntil(const std::function<bool(Simulation*)>& stop,
+                                  uint64_t max_iterations) {
+  uint64_t executed = 0;
+  while (executed < max_iterations && !stop(sim_)) {
+    ExecuteIteration();
+    ++executed;
+  }
+  return executed;
+}
+
+void Scheduler::ExecuteIteration() {
+  TimingAggregator* timing = sim_->GetTiming();
+
+  for (auto& op : pre_ops_) {
+    if (!op->IsDue(iteration_)) {
+      continue;
+    }
+    ScopedTimer timer(timing, op->GetName());
+    op->Run(sim_);
+  }
+
+  // Fused agent loop (Algorithm 1, L7-11): all due agent operations are
+  // applied to an agent before moving to the next, maximizing data reuse
+  // while the agent is cache-hot.
+  {
+    ScopedTimer timer(timing, "agent_ops");
+    std::vector<AgentOperation*> due;
+    for (auto& op : agent_ops_) {
+      if (op->IsDue(iteration_)) {
+        due.push_back(op.get());
+      }
+    }
+    if (!due.empty()) {
+      sim_->GetResourceManager()->ForEachAgentParallel(
+          [&](Agent* agent, AgentHandle handle, int tid) {
+            for (AgentOperation* op : due) {
+              op->Run(agent, handle, tid, sim_);
+            }
+          });
+    }
+  }
+
+  for (auto& op : post_ops_) {
+    if (!op->IsDue(iteration_)) {
+      continue;
+    }
+    ScopedTimer timer(timing, op->GetName());
+    op->Run(sim_);
+  }
+
+  ++iteration_;
+}
+
+}  // namespace bdm

@@ -1,0 +1,65 @@
+// Scheduler: the simulation main loop (paper Algorithm 1).
+//
+// Each iteration executes the pre-standalone operations, the fused parallel
+// agent loop (every due agent operation applied per agent), and the
+// post-standalone operations. Wall time per operation is recorded in the
+// simulation's TimingAggregator, which feeds the Figure 5 runtime breakdown.
+#ifndef BDM_CORE_SCHEDULER_H_
+#define BDM_CORE_SCHEDULER_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/operation.h"
+
+namespace bdm {
+
+class Simulation;
+
+class Scheduler {
+ public:
+  explicit Scheduler(Simulation* sim);
+  ~Scheduler();
+
+  /// Runs `iterations` simulation steps.
+  void Simulate(uint64_t iterations);
+
+  /// Runs until `stop(sim)` returns true (checked after every iteration) or
+  /// `max_iterations` elapsed. Returns the number of iterations executed.
+  /// Supports steady-state studies where the horizon is unknown a priori.
+  uint64_t SimulateUntil(const std::function<bool(Simulation*)>& stop,
+                         uint64_t max_iterations = ~uint64_t{0});
+
+  uint64_t GetSimulatedIterations() const { return iteration_; }
+
+  // --- pipeline customization ------------------------------------------------
+  void AppendPreOp(std::unique_ptr<StandaloneOperation> op) {
+    pre_ops_.push_back(std::move(op));
+  }
+  void AppendAgentOp(std::unique_ptr<AgentOperation> op) {
+    agent_ops_.push_back(std::move(op));
+  }
+  void AppendPostOp(std::unique_ptr<StandaloneOperation> op) {
+    post_ops_.push_back(std::move(op));
+  }
+  /// Removes the first operation with the given name from any stage.
+  /// Returns true when an operation was removed.
+  bool RemoveOp(const std::string& name);
+  /// Returns the first operation with the given name, or nullptr.
+  OperationBase* GetOp(const std::string& name);
+
+ private:
+  void ExecuteIteration();
+
+  Simulation* sim_;
+  uint64_t iteration_ = 0;
+  std::vector<std::unique_ptr<StandaloneOperation>> pre_ops_;
+  std::vector<std::unique_ptr<AgentOperation>> agent_ops_;
+  std::vector<std::unique_ptr<StandaloneOperation>> post_ops_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_SCHEDULER_H_

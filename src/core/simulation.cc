@@ -1,0 +1,115 @@
+#include "core/simulation.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "continuum/diffusion_grid.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "env/kd_tree.h"
+#include "env/octree.h"
+#include "env/uniform_grid.h"
+#include "memory/memory_manager.h"
+#include "physics/interaction_force.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+Simulation* Simulation::active_ = nullptr;
+
+namespace {
+
+std::unique_ptr<Environment> MakeEnvironment(const Param& param) {
+  switch (param.environment) {
+    case EnvironmentType::kUniformGrid:
+      return std::make_unique<UniformGridEnvironment>(param);
+    case EnvironmentType::kKdTree:
+      return std::make_unique<KdTreeEnvironment>(param);
+    case EnvironmentType::kOctree:
+      return std::make_unique<OctreeEnvironment>(param);
+  }
+  throw std::invalid_argument("unknown environment type");
+}
+
+}  // namespace
+
+Simulation::Simulation(std::string name, const Param& param)
+    : name_(std::move(name)),
+      param_(param),
+      topology_(param_.ResolveNumThreads(), param_.num_numa_domains) {
+  assert(active_ == nullptr &&
+         "only one Simulation may be active at a time (see class comment)");
+  active_ = this;
+
+  pool_ = std::make_unique<NumaThreadPool>(topology_);
+  if (param_.use_bdm_memory_manager) {
+    memory_manager_ = std::make_unique<MemoryManager>(topology_, param_.memory);
+    MemoryManager::SetGlobal(memory_manager_.get());
+  }
+  rm_ = std::make_unique<ResourceManager>(param_, pool_.get(), &uid_generator_);
+  env_ = MakeEnvironment(param_);
+  force_ = std::make_unique<InteractionForce>();
+
+  // One context per worker thread plus one for the main thread (slot 0).
+  const int num_contexts = topology_.NumThreads() + 1;
+  contexts_.reserve(num_contexts);
+  for (int slot = 0; slot < num_contexts; ++slot) {
+    const int domain = slot == 0 ? 0 : topology_.DomainOfThread(slot - 1);
+    contexts_.push_back(std::make_unique<ExecutionContext>(
+        domain, param_.random_seed + static_cast<uint64_t>(slot) * 0x9E3779B9,
+        &uid_generator_));
+    context_ptrs_.push_back(contexts_.back().get());
+  }
+
+  scheduler_ = std::make_unique<Scheduler>(this);
+}
+
+Simulation::~Simulation() {
+  // Destruction order matters: agents (and their behaviors) must be freed
+  // while the memory manager that allocated them is still the global one.
+  scheduler_.reset();
+  env_.reset();
+  rm_.reset();
+  diffusion_grids_.clear();
+  contexts_.clear();
+  force_.reset();
+  memory_manager_.reset();  // clears the global pointer in its destructor
+  pool_.reset();
+  active_ = nullptr;
+}
+
+void Simulation::SetInteractionForce(std::unique_ptr<InteractionForce> force) {
+  force_ = std::move(force);
+}
+
+ExecutionContext* Simulation::GetExecutionContext(int tid) {
+  return context_ptrs_[tid + 1];
+}
+
+ExecutionContext* Simulation::GetActiveExecutionContext() {
+  return GetExecutionContext(NumaThreadPool::CurrentThreadId());
+}
+
+DiffusionGrid* Simulation::AddDiffusionGrid(std::unique_ptr<DiffusionGrid> grid,
+                                            const Real3& lower,
+                                            const Real3& upper) {
+  grid->Initialize(lower, upper);
+  diffusion_grids_.push_back(std::move(grid));
+  diffusion_ptrs_.push_back(diffusion_grids_.back().get());
+  return diffusion_ptrs_.back();
+}
+
+DiffusionGrid* Simulation::GetDiffusionGrid(const std::string& substance) const {
+  for (DiffusionGrid* grid : diffusion_ptrs_) {
+    if (grid->GetName() == substance) {
+      return grid;
+    }
+  }
+  return nullptr;
+}
+
+void Simulation::Simulate(uint64_t iterations) {
+  scheduler_->Simulate(iterations);
+}
+
+}  // namespace bdm

@@ -1,0 +1,101 @@
+// Simulation: the top-level context object.
+//
+// Owns every engine component -- topology, thread pool, memory manager,
+// resource manager, environment, scheduler, per-thread execution contexts,
+// diffusion grids -- wired together according to the Param toggles. Exactly
+// one Simulation is active per process at a time (the pool allocator's
+// headerless deallocation scheme relies on allocation and deallocation
+// happening under the same allocator configuration; see
+// memory/memory_manager.h).
+#ifndef BDM_CORE_SIMULATION_H_
+#define BDM_CORE_SIMULATION_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent_uid.h"
+#include "core/execution_context.h"
+#include "core/param.h"
+#include "core/timing.h"
+#include "numa/topology.h"
+
+namespace bdm {
+
+class ResourceManager;
+class Environment;
+class Scheduler;
+class NumaThreadPool;
+class MemoryManager;
+class InteractionForce;
+class DiffusionGrid;
+
+class Simulation {
+ public:
+  explicit Simulation(std::string name, const Param& param = {});
+  ~Simulation();
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// The process-wide active simulation (used by AgentPointer lookups and
+  /// behaviors that need engine services).
+  static Simulation* GetActive() { return active_; }
+
+  const std::string& GetName() const { return name_; }
+  const Param& GetParam() const { return param_; }
+  ResourceManager* GetResourceManager() { return rm_.get(); }
+  Environment* GetEnvironment() { return env_.get(); }
+  Scheduler* GetScheduler() { return scheduler_.get(); }
+  NumaThreadPool* GetThreadPool() { return pool_.get(); }
+  AgentUidGenerator* GetAgentUidGenerator() { return &uid_generator_; }
+  TimingAggregator* GetTiming() { return &timing_; }
+  MemoryManager* GetMemoryManager() { return memory_manager_.get(); }
+
+  InteractionForce* GetInteractionForce() { return force_.get(); }
+  void SetInteractionForce(std::unique_ptr<InteractionForce> force);
+
+  /// Execution context of worker `tid` (pass -1 or omit for the calling
+  /// thread; the main thread maps to slot 0).
+  ExecutionContext* GetExecutionContext(int tid);
+  ExecutionContext* GetActiveExecutionContext();
+  const std::vector<ExecutionContext*>& GetAllExecutionContexts() const {
+    return context_ptrs_;
+  }
+
+  /// Registers a substance field. The grid is initialized over the given
+  /// bounds immediately.
+  DiffusionGrid* AddDiffusionGrid(std::unique_ptr<DiffusionGrid> grid,
+                                  const Real3& lower, const Real3& upper);
+  DiffusionGrid* GetDiffusionGrid(const std::string& substance) const;
+  const std::vector<DiffusionGrid*>& GetAllDiffusionGrids() const {
+    return diffusion_ptrs_;
+  }
+
+  /// Convenience: run `iterations` simulation steps.
+  void Simulate(uint64_t iterations);
+
+ private:
+  static Simulation* active_;
+
+  std::string name_;
+  Param param_;
+  Topology topology_;
+  std::unique_ptr<NumaThreadPool> pool_;
+  std::unique_ptr<MemoryManager> memory_manager_;
+  AgentUidGenerator uid_generator_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::unique_ptr<Environment> env_;
+  std::unique_ptr<InteractionForce> force_;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  std::vector<ExecutionContext*> context_ptrs_;
+  std::vector<std::unique_ptr<DiffusionGrid>> diffusion_grids_;
+  std::vector<DiffusionGrid*> diffusion_ptrs_;
+  std::unique_ptr<Scheduler> scheduler_;
+  TimingAggregator timing_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_SIMULATION_H_

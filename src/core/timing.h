@@ -1,0 +1,78 @@
+// Wall-clock timing aggregation for the operation runtime breakdown
+// (paper Figure 5 left).
+#ifndef BDM_CORE_TIMING_H_
+#define BDM_CORE_TIMING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bdm {
+
+class TimingAggregator {
+ public:
+  struct Entry {
+    double seconds = 0;
+    uint64_t count = 0;
+  };
+
+  void Add(const std::string& name, double seconds) {
+    auto& entry = entries_[name];
+    entry.seconds += seconds;
+    ++entry.count;
+  }
+
+  double TotalSeconds(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0.0 : it->second.seconds;
+  }
+
+  uint64_t Count(const std::string& name) const {
+    auto it = entries_.find(name);
+    return it == entries_.end() ? 0 : it->second.count;
+  }
+
+  double GrandTotalSeconds() const {
+    double total = 0;
+    for (const auto& [name, entry] : entries_) {
+      total += entry.seconds;
+    }
+    return total;
+  }
+
+  /// name -> (seconds, count), ordered by name.
+  const auto& raw() const { return entries_; }
+
+  void Reset() { entries_.clear(); }
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+/// RAII timer adding its lifetime to an aggregator bucket.
+class ScopedTimer {
+ public:
+  ScopedTimer(TimingAggregator* aggregator, std::string name)
+      : aggregator_(aggregator),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    aggregator_->Add(name_,
+                     std::chrono::duration<double>(elapsed).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TimingAggregator* aggregator_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_TIMING_H_

@@ -1,0 +1,62 @@
+// Environment: the neighbor-search interface (paper Section 2).
+//
+// "BioDynaMo provides a common interface for different neighbor search
+// algorithms called environment." Three implementations exist, matching the
+// paper's Section 6.9 comparison: the optimized uniform grid, a kd-tree, and
+// an octree. The scheduler rebuilds the environment at the beginning of
+// every iteration (pre-standalone operation).
+#ifndef BDM_ENV_ENVIRONMENT_H_
+#define BDM_ENV_ENVIRONMENT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/function_ref.h"
+#include "math/real.h"
+#include "math/real3.h"
+
+namespace bdm {
+
+class Agent;
+class ResourceManager;
+class NumaThreadPool;
+
+class Environment {
+ public:
+  /// Callback invoked once per neighbor with the neighbor agent and the
+  /// squared distance between the query position and the neighbor position.
+  using NeighborFn = FunctionRef<void(Agent*, real_t)>;
+
+  virtual ~Environment() = default;
+
+  /// Rebuilds the search index from the current agent positions.
+  virtual void Update(const ResourceManager& rm, NumaThreadPool* pool) = 0;
+
+  /// Invokes `fn` for every agent (excluding `query` itself) whose position
+  /// is within sqrt(squared_radius) of `query`'s position.
+  virtual void ForEachNeighbor(const Agent& query, real_t squared_radius,
+                               NeighborFn fn) const = 0;
+
+  /// Same search anchored at an arbitrary position (no self-exclusion).
+  virtual void ForEachNeighbor(const Real3& position, real_t squared_radius,
+                               NeighborFn fn) const = 0;
+
+  /// Default interaction radius: derived from the largest agent diameter
+  /// observed during the last Update. The mechanical-forces operation uses
+  /// its square as the search radius.
+  virtual real_t GetInteractionRadius() const = 0;
+
+  /// Lower and upper corner of the axis-aligned bounding box of all agents
+  /// seen at the last Update.
+  virtual Real3 GetLowerBound() const = 0;
+  virtual Real3 GetUpperBound() const = 0;
+
+  /// Approximate heap footprint of the index in bytes (Figure 11, bottom).
+  virtual size_t MemoryFootprint() const = 0;
+
+  virtual std::string GetName() const = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_ENV_ENVIRONMENT_H_

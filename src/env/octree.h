@@ -1,0 +1,65 @@
+// Octree environment following Behley et al. [8].
+//
+// A from-scratch replacement for the UniBN octree the paper benchmarks: the
+// tree covers the agents' bounding cube, nodes subdivide until at most
+// `octree_bucket_size` points remain (the paper's validated bucket
+// parameter), and the radius search applies Behley's inside-sphere shortcut:
+// when a node's cube lies completely inside the query sphere, all its points
+// are reported without per-point distance tests.
+#ifndef BDM_ENV_OCTREE_H_
+#define BDM_ENV_OCTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/param.h"
+#include "env/environment.h"
+
+namespace bdm {
+
+class OctreeEnvironment : public Environment {
+ public:
+  explicit OctreeEnvironment(const Param& param) : param_(&param) {}
+
+  void Update(const ResourceManager& rm, NumaThreadPool* pool) override;
+
+  void ForEachNeighbor(const Agent& query, real_t squared_radius,
+                       NeighborFn fn) const override;
+  void ForEachNeighbor(const Real3& position, real_t squared_radius,
+                       NeighborFn fn) const override;
+
+  real_t GetInteractionRadius() const override { return largest_diameter_; }
+  Real3 GetLowerBound() const override { return lower_; }
+  Real3 GetUpperBound() const override { return upper_; }
+  size_t MemoryFootprint() const override;
+  std::string GetName() const override { return "octree"; }
+
+ private:
+  struct Node {
+    Real3 center;
+    real_t extent = 0;  // half edge length
+    int32_t children[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+    int32_t begin = 0, end = 0;  // point range (leaves only)
+    bool is_leaf = true;
+  };
+
+  int32_t Build(int32_t begin, int32_t end, const Real3& center, real_t extent);
+  void Search(const Real3& position, real_t squared_radius, const Agent* exclude,
+              NeighborFn& fn) const;
+  void ReportAll(const Node& node, const Real3& position, const Agent* exclude,
+                 NeighborFn& fn) const;
+
+  const Param* param_;
+
+  std::vector<Real3> points_;
+  std::vector<Agent*> agents_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+
+  Real3 lower_, upper_;
+  real_t largest_diameter_ = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_ENV_OCTREE_H_

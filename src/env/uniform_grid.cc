@@ -1,0 +1,220 @@
+#include "env/uniform_grid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "core/agent.h"
+#include "core/resource_manager.h"
+
+namespace bdm {
+
+namespace {
+
+struct alignas(64) BoundsPartial {
+  Real3 lower{std::numeric_limits<real_t>::max(),
+              std::numeric_limits<real_t>::max(),
+              std::numeric_limits<real_t>::max()};
+  Real3 upper{std::numeric_limits<real_t>::lowest(),
+              std::numeric_limits<real_t>::lowest(),
+              std::numeric_limits<real_t>::lowest()};
+  real_t largest_diameter = 0;
+};
+
+}  // namespace
+
+void UniformGridEnvironment::Update(const ResourceManager& rm,
+                                    NumaThreadPool* pool) {
+  const uint64_t total = rm.GetNumAgents();
+  flat_agents_.resize(total);
+  successors_.resize(total);
+  if (total == 0) {
+    nx_ = ny_ = nz_ = 0;
+    return;
+  }
+
+  // Flatten the per-domain vectors and reduce bounding box plus largest
+  // diameter in one parallel pass.
+  std::vector<uint64_t> domain_offset(rm.GetNumDomains() + 1, 0);
+  for (int d = 0; d < rm.GetNumDomains(); ++d) {
+    domain_offset[d + 1] = domain_offset[d] + rm.GetNumAgents(d);
+  }
+  std::vector<BoundsPartial> partials(pool->NumThreads() + 1);
+  for (int d = 0; d < rm.GetNumDomains(); ++d) {
+    const auto& agents = rm.GetAgentVector(d);
+    const uint64_t offset = domain_offset[d];
+    pool->ParallelFor(
+        0, static_cast<int64_t>(agents.size()), 4096,
+        [&](int64_t lo, int64_t hi, int tid) {
+          BoundsPartial& p = partials[tid + 1];
+          for (int64_t i = lo; i < hi; ++i) {
+            Agent* agent = agents[i];
+            flat_agents_[offset + i] = agent;
+            const Real3& pos = agent->GetPosition();
+            for (int c = 0; c < 3; ++c) {
+              p.lower[c] = std::min(p.lower[c], pos[c]);
+              p.upper[c] = std::max(p.upper[c], pos[c]);
+            }
+            p.largest_diameter = std::max(p.largest_diameter, agent->GetDiameter());
+          }
+        });
+  }
+  BoundsPartial result;
+  for (const BoundsPartial& p : partials) {
+    for (int c = 0; c < 3; ++c) {
+      result.lower[c] = std::min(result.lower[c], p.lower[c]);
+      result.upper[c] = std::max(result.upper[c], p.upper[c]);
+    }
+    result.largest_diameter = std::max(result.largest_diameter, p.largest_diameter);
+  }
+  lower_ = result.lower;
+  upper_ = result.upper;
+  largest_diameter_ = result.largest_diameter;
+
+  box_length_ = param_->fixed_box_length > 0 ? param_->fixed_box_length
+                                             : largest_diameter_;
+  box_length_ = std::max<real_t>(box_length_, 1e-6);
+
+  const auto dim = [&](int c) {
+    return static_cast<int64_t>(
+               std::floor((upper_[c] - lower_[c]) / box_length_)) + 1;
+  };
+  // Sparse-space guard: a huge, sparsely populated space must not blow up
+  // the boxes array (searches stay correct with a coarser grid because the
+  // ring count adapts to radius / box_length).
+  while (dim(0) * dim(1) * dim(2) >
+         std::max<int64_t>(int64_t{1} << 21, 32 * static_cast<int64_t>(total))) {
+    box_length_ *= 2;
+  }
+  const int64_t nx = dim(0), ny = dim(1), nz = dim(2);
+  const int64_t num_boxes = nx * ny * nz;
+
+  // Timestamp management: a fresh boxes array starts with timestamp 0 in
+  // every word, so the grid's own timestamp starts at 1; on 16-bit wrap the
+  // boxes are cleared once to keep "stale timestamp == empty box" sound.
+  // Dimension changes (moving bounding box) reuse the existing array when
+  // it is large enough: entries written under the old index mapping carry a
+  // stale timestamp and are therefore invisible, so no clearing is needed
+  // -- this keeps per-iteration cost O(#agents) even when agents move far
+  // (the epidemiology workload).
+  if (num_boxes > static_cast<int64_t>(boxes_.size())) {
+    // 1.5x headroom amortizes reallocation when the bounding box grows a
+    // little every iteration (random-walk workloads).
+    boxes_ = std::vector<std::atomic<uint64_t>>(num_boxes + num_boxes / 2);
+    timestamp_ = 1;
+  } else if (++timestamp_ == 0) {
+    pool->ParallelFor(0, static_cast<int64_t>(boxes_.size()), 1 << 15,
+                      [&](int64_t lo, int64_t hi, int) {
+      for (int64_t i = lo; i < hi; ++i) {
+        boxes_[i].store(0, std::memory_order_relaxed);
+      }
+    });
+    timestamp_ = 1;
+  }
+  nx_ = nx;
+  ny_ = ny;
+  nz_ = nz;
+
+  // Assign all agents to boxes in parallel. The packed word makes the
+  // "stale box" reset and the list push one atomic CAS.
+  pool->ParallelFor(
+      0, static_cast<int64_t>(total), 4096, [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; ++i) {
+          const auto c = BoxCoordinates(flat_agents_[i]->GetPosition());
+          std::atomic<uint64_t>& box = boxes_[FlatBoxIndex(c[0], c[1], c[2])];
+          uint64_t word = box.load(std::memory_order_acquire);
+          for (;;) {
+            const bool fresh = Timestamp(word) == timestamp_;
+            const uint16_t count = fresh ? Count(word) : 0;
+            assert(count < 0xFFFF && "box overflow: >65534 agents in one box");
+            successors_[i] = fresh ? Head(word) : 0xFFFFFFFFu;
+            const uint64_t desired =
+                Pack(timestamp_, count + 1, static_cast<uint32_t>(i));
+            if (box.compare_exchange_weak(word, desired,
+                                          std::memory_order_acq_rel,
+                                          std::memory_order_acquire)) {
+              break;
+            }
+          }
+        }
+      });
+}
+
+std::array<int64_t, 3> UniformGridEnvironment::BoxCoordinates(
+    const Real3& position) const {
+  std::array<int64_t, 3> c;
+  const std::array<int64_t, 3> n = {nx_, ny_, nz_};
+  for (int i = 0; i < 3; ++i) {
+    const int64_t v =
+        static_cast<int64_t>(std::floor((position[i] - lower_[i]) / box_length_));
+    c[i] = std::clamp<int64_t>(v, 0, n[i] - 1);
+  }
+  return c;
+}
+
+void UniformGridEnvironment::Search(const Real3& position, real_t squared_radius,
+                                    const Agent* exclude, NeighborFn& fn) const {
+  if (flat_agents_.empty()) {
+    return;
+  }
+  // One ring of boxes suffices for radii up to the box length (the common
+  // case); larger query radii widen the search cube accordingly.
+  const int64_t reach = std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(std::sqrt(squared_radius) / box_length_)));
+  // Unclamped coordinates so queries outside the grid still visit the boxes
+  // their search sphere overlaps.
+  std::array<int64_t, 3> c;
+  for (int i = 0; i < 3; ++i) {
+    c[i] = static_cast<int64_t>(std::floor((position[i] - lower_[i]) / box_length_));
+  }
+  const int64_t zlo = std::max<int64_t>(c[2] - reach, 0);
+  const int64_t zhi = std::min<int64_t>(c[2] + reach, nz_ - 1);
+  const int64_t ylo = std::max<int64_t>(c[1] - reach, 0);
+  const int64_t yhi = std::min<int64_t>(c[1] + reach, ny_ - 1);
+  const int64_t xlo = std::max<int64_t>(c[0] - reach, 0);
+  const int64_t xhi = std::min<int64_t>(c[0] + reach, nx_ - 1);
+  for (int64_t z = zlo; z <= zhi; ++z) {
+    for (int64_t y = ylo; y <= yhi; ++y) {
+      for (int64_t x = xlo; x <= xhi; ++x) {
+        const uint64_t word =
+            boxes_[FlatBoxIndex(x, y, z)].load(std::memory_order_acquire);
+        if (Timestamp(word) != timestamp_) {
+          continue;  // stale timestamp: box is empty this iteration
+        }
+        uint32_t idx = Head(word);
+        for (uint16_t k = 0, count = Count(word); k < count; ++k) {
+          Agent* agent = flat_agents_[idx];
+          idx = successors_[idx];
+          if (agent == exclude) {
+            continue;
+          }
+          const real_t d2 = agent->GetPosition().SquaredDistance(position);
+          if (d2 <= squared_radius) {
+            fn(agent, d2);
+          }
+        }
+      }
+    }
+  }
+}
+
+void UniformGridEnvironment::ForEachNeighbor(const Agent& query,
+                                             real_t squared_radius,
+                                             NeighborFn fn) const {
+  Search(query.GetPosition(), squared_radius, &query, fn);
+}
+
+void UniformGridEnvironment::ForEachNeighbor(const Real3& position,
+                                             real_t squared_radius,
+                                             NeighborFn fn) const {
+  Search(position, squared_radius, nullptr, fn);
+}
+
+size_t UniformGridEnvironment::MemoryFootprint() const {
+  return boxes_.size() * sizeof(uint64_t) +
+         successors_.capacity() * sizeof(uint32_t) +
+         flat_agents_.capacity() * sizeof(Agent*);
+}
+
+}  // namespace bdm

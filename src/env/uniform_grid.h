@@ -1,0 +1,115 @@
+// The paper's optimized uniform grid (Section 3.1).
+//
+// Key properties reproduced from the paper:
+//  * Agents of a box form an array-based linked list: `successors_[i]` is the
+//    flat index of the next agent in the same box, so a box stores only its
+//    head index and element count.
+//  * Every box carries a timestamp. A box whose timestamp differs from the
+//    grid's current one is empty, so the build phase never zeroes the boxes
+//    array -- the grid is built in O(#agents) instead of
+//    O(#agents + #boxes).
+//  * The build phase is fully parallel: timestamp, count, and head are
+//    packed into one 64-bit word per box and updated with a single
+//    compare-and-swap.
+//  * Searches visit the 3x3x3 cube of boxes around the query box (more rings
+//    when the query radius exceeds the box length).
+//
+// The grid additionally exposes box counts and per-box agent iteration,
+// which the Morton sorting/balancing operation of Section 4.2 builds on.
+#ifndef BDM_ENV_UNIFORM_GRID_H_
+#define BDM_ENV_UNIFORM_GRID_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/param.h"
+#include "env/environment.h"
+
+namespace bdm {
+
+class UniformGridEnvironment : public Environment {
+ public:
+  explicit UniformGridEnvironment(const Param& param) : param_(&param) {}
+
+  void Update(const ResourceManager& rm, NumaThreadPool* pool) override;
+
+  void ForEachNeighbor(const Agent& query, real_t squared_radius,
+                       NeighborFn fn) const override;
+  void ForEachNeighbor(const Real3& position, real_t squared_radius,
+                       NeighborFn fn) const override;
+
+  real_t GetInteractionRadius() const override { return box_length_; }
+  Real3 GetLowerBound() const override { return lower_; }
+  Real3 GetUpperBound() const override { return upper_; }
+  size_t MemoryFootprint() const override;
+  std::string GetName() const override { return "uniform_grid"; }
+
+  // --- accessors used by the load-balance operation and tests --------------
+  std::array<int64_t, 3> GetDimensions() const { return {nx_, ny_, nz_}; }
+  int64_t GetNumBoxes() const { return nx_ * ny_ * nz_; }
+  real_t GetBoxLength() const { return box_length_; }
+
+  int64_t FlatBoxIndex(int64_t x, int64_t y, int64_t z) const {
+    return x + nx_ * (y + ny_ * z);
+  }
+
+  /// Number of agents currently stored in box `flat`.
+  uint32_t GetBoxCount(int64_t flat) const {
+    const uint64_t word = boxes_[flat].load(std::memory_order_acquire);
+    return Timestamp(word) == timestamp_ ? Count(word) : 0;
+  }
+
+  /// Invokes `fn(Agent*)` for every agent in box `flat`.
+  template <typename Fn>
+  void ForEachAgentInBox(int64_t flat, Fn&& fn) const {
+    const uint64_t word = boxes_[flat].load(std::memory_order_acquire);
+    if (Timestamp(word) != timestamp_) {
+      return;
+    }
+    uint32_t idx = Head(word);
+    for (uint32_t k = 0; k < Count(word); ++k) {
+      fn(flat_agents_[idx]);
+      idx = successors_[idx];
+    }
+  }
+
+ private:
+  // Box word layout: [timestamp:16][count:16][head:32].
+  static constexpr uint64_t Pack(uint16_t ts, uint16_t count, uint32_t head) {
+    return (static_cast<uint64_t>(ts) << 48) |
+           (static_cast<uint64_t>(count) << 32) | head;
+  }
+  static constexpr uint16_t Timestamp(uint64_t word) {
+    return static_cast<uint16_t>(word >> 48);
+  }
+  static constexpr uint16_t Count(uint64_t word) {
+    return static_cast<uint16_t>(word >> 32);
+  }
+  static constexpr uint32_t Head(uint64_t word) {
+    return static_cast<uint32_t>(word);
+  }
+
+  std::array<int64_t, 3> BoxCoordinates(const Real3& position) const;
+
+  void Search(const Real3& position, real_t squared_radius, const Agent* exclude,
+              NeighborFn& fn) const;
+
+  const Param* param_;
+
+  Real3 lower_;
+  Real3 upper_;
+  real_t box_length_ = 1;
+  real_t largest_diameter_ = 0;
+  int64_t nx_ = 0, ny_ = 0, nz_ = 0;
+  uint16_t timestamp_ = 0;
+
+  std::vector<std::atomic<uint64_t>> boxes_;
+  std::vector<uint32_t> successors_;
+  std::vector<Agent*> flat_agents_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_ENV_UNIFORM_GRID_H_

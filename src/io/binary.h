@@ -1,0 +1,71 @@
+// Minimal binary (de)serialization primitives for checkpoints.
+//
+// Little-endian scalar I/O plus length-prefixed strings. Checkpoints are
+// host-format files (no cross-endian portability claim), guarded by a
+// magic number and version field.
+#ifndef BDM_IO_BINARY_H_
+#define BDM_IO_BINARY_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+#include "math/real3.h"
+
+namespace bdm::io {
+
+template <typename T>
+void WriteScalar(std::ostream& out, const T& value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T ReadScalar(std::istream& in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("checkpoint: unexpected end of stream");
+  }
+  return value;
+}
+
+inline void WriteString(std::ostream& out, const std::string& s) {
+  WriteScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline std::string ReadString(std::istream& in) {
+  const uint32_t size = ReadScalar<uint32_t>(in);
+  if (size > (1u << 20)) {
+    throw std::runtime_error("checkpoint: implausible string length");
+  }
+  std::string s(size, '\0');
+  in.read(s.data(), size);
+  if (!in) {
+    throw std::runtime_error("checkpoint: unexpected end of stream");
+  }
+  return s;
+}
+
+inline void WriteReal3(std::ostream& out, const Real3& v) {
+  WriteScalar(out, v.x);
+  WriteScalar(out, v.y);
+  WriteScalar(out, v.z);
+}
+
+inline Real3 ReadReal3(std::istream& in) {
+  Real3 v;
+  v.x = ReadScalar<real_t>(in);
+  v.y = ReadScalar<real_t>(in);
+  v.z = ReadScalar<real_t>(in);
+  return v;
+}
+
+}  // namespace bdm::io
+
+#endif  // BDM_IO_BINARY_H_

@@ -1,0 +1,152 @@
+#include "io/checkpoint.h"
+
+#include <fstream>
+#include <map>
+#include <stdexcept>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "io/binary.h"
+#include "models/common_behaviors.h"
+#include "neuro/growth_behaviors.h"
+#include "neuro/neurite_element.h"
+#include "neuro/neuron_soma.h"
+
+namespace bdm::io {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x42444D434B505431ULL;  // "BDMCKPT1"
+
+struct Registry {
+  std::map<std::string, Checkpoint::AgentFactory> agent_factories;
+  std::map<std::type_index, std::string> agent_names;
+  std::map<std::string, Checkpoint::BehaviorFactory> behavior_factories;
+  std::map<std::type_index, std::string> behavior_names;
+};
+
+Registry& GetRegistry() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace
+
+bool Checkpoint::RegisterAgentType(const std::string& name, std::type_index type,
+                                   AgentFactory factory) {
+  auto& registry = GetRegistry();
+  registry.agent_factories[name] = std::move(factory);
+  registry.agent_names[type] = name;
+  return true;
+}
+
+bool Checkpoint::RegisterBehaviorType(const std::string& name,
+                                      std::type_index type,
+                                      BehaviorFactory factory) {
+  auto& registry = GetRegistry();
+  registry.behavior_factories[name] = std::move(factory);
+  registry.behavior_names[type] = name;
+  return true;
+}
+
+void Checkpoint::Save(Simulation* sim, const std::string& path) {
+  const auto& registry = GetRegistry();
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  WriteScalar(out, kMagic);
+  auto* rm = sim->GetResourceManager();
+  WriteScalar<uint32_t>(out, sim->GetAgentUidGenerator()->HighWatermark());
+  WriteScalar<uint64_t>(out, rm->GetNumAgents());
+  rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+    const auto name_it = registry.agent_names.find(std::type_index(typeid(*agent)));
+    if (name_it == registry.agent_names.end()) {
+      throw std::runtime_error(std::string("checkpoint: unregistered agent type ") +
+                               typeid(*agent).name());
+    }
+    WriteString(out, name_it->second);
+    agent->WriteState(out);
+    const auto& behaviors = agent->GetAllBehaviors();
+    WriteScalar<uint32_t>(out, static_cast<uint32_t>(behaviors.size()));
+    for (const Behavior* behavior : behaviors) {
+      const auto b_it =
+          registry.behavior_names.find(std::type_index(typeid(*behavior)));
+      if (b_it == registry.behavior_names.end()) {
+        throw std::runtime_error(
+            std::string("checkpoint: unregistered behavior type ") +
+            typeid(*behavior).name());
+      }
+      WriteString(out, b_it->second);
+      behavior->WriteState(out);
+    }
+  });
+}
+
+void Checkpoint::Load(Simulation* sim, const std::string& path) {
+  const auto& registry = GetRegistry();
+  auto* rm = sim->GetResourceManager();
+  if (rm->GetNumAgents() != 0) {
+    throw std::runtime_error("checkpoint: target simulation is not empty");
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("checkpoint: cannot open " + path);
+  }
+  if (ReadScalar<uint64_t>(in) != kMagic) {
+    throw std::runtime_error("checkpoint: bad magic in " + path);
+  }
+  // Restore the watermark before adding agents so the uid map is sized
+  // correctly and future uids cannot collide with restored ones.
+  sim->GetAgentUidGenerator()->RestoreWatermark(ReadScalar<uint32_t>(in));
+  const uint64_t num_agents = ReadScalar<uint64_t>(in);
+  for (uint64_t i = 0; i < num_agents; ++i) {
+    const std::string type_name = ReadString(in);
+    const auto factory_it = registry.agent_factories.find(type_name);
+    if (factory_it == registry.agent_factories.end()) {
+      throw std::runtime_error("checkpoint: unknown agent type " + type_name);
+    }
+    Agent* agent = factory_it->second();
+    agent->ReadState(in);
+    const uint32_t num_behaviors = ReadScalar<uint32_t>(in);
+    for (uint32_t b = 0; b < num_behaviors; ++b) {
+      const std::string behavior_name = ReadString(in);
+      const auto b_it = registry.behavior_factories.find(behavior_name);
+      if (b_it == registry.behavior_factories.end()) {
+        delete agent;
+        throw std::runtime_error("checkpoint: unknown behavior type " +
+                                 behavior_name);
+      }
+      Behavior* behavior = b_it->second();
+      behavior->ReadState(in);
+      agent->AddBehavior(behavior);
+    }
+    rm->AddAgent(agent);
+  }
+}
+
+// --- built-in type registrations ---------------------------------------------
+
+namespace {
+using models::Chemotaxis;
+using models::GrowDivide;
+using models::RandomWalk;
+using models::ReflectiveBounds;
+using models::Secretion;
+using neuro::GrowthCone;
+using neuro::NeuriteElement;
+using neuro::NeuronSoma;
+}  // namespace
+
+BDM_REGISTER_AGENT(Cell);
+BDM_REGISTER_AGENT(NeuronSoma);
+BDM_REGISTER_AGENT(NeuriteElement);
+BDM_REGISTER_BEHAVIOR(GrowDivide);
+BDM_REGISTER_BEHAVIOR(RandomWalk);
+BDM_REGISTER_BEHAVIOR(ReflectiveBounds);
+BDM_REGISTER_BEHAVIOR(Secretion);
+BDM_REGISTER_BEHAVIOR(Chemotaxis);
+BDM_REGISTER_BEHAVIOR(GrowthCone);
+
+}  // namespace bdm::io

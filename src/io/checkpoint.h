@@ -1,0 +1,66 @@
+// Checkpointing: save and restore the full agent population.
+//
+// Long-running studies (the paper motivates billion-agent runs taking tens
+// of seconds *per iteration*) need restartability. A checkpoint stores
+// every agent with its stable uid, its polymorphic state (via
+// Agent::WriteState), and its behaviors (via Behavior::WriteState), plus
+// the uid-generator watermark. Cross-agent references (AgentPointer) are
+// uid-based and therefore survive the round trip without fixups.
+//
+// Types are resolved through a process-wide registry keyed by a stable
+// type name. The engine's built-in agents and behaviors are
+// pre-registered; user-defined types register once at startup:
+//
+//   BDM_REGISTER_AGENT(MyAgent);
+//   BDM_REGISTER_BEHAVIOR(MyBehavior);
+#ifndef BDM_IO_CHECKPOINT_H_
+#define BDM_IO_CHECKPOINT_H_
+
+#include <functional>
+#include <string>
+#include <typeindex>
+
+namespace bdm {
+
+class Agent;
+class Behavior;
+class Simulation;
+
+namespace io {
+
+class Checkpoint {
+ public:
+  using AgentFactory = std::function<Agent*()>;
+  using BehaviorFactory = std::function<Behavior*()>;
+
+  /// Registers an agent type. Returns true (usable as a static initializer).
+  static bool RegisterAgentType(const std::string& name, std::type_index type,
+                                AgentFactory factory);
+  static bool RegisterBehaviorType(const std::string& name, std::type_index type,
+                                   BehaviorFactory factory);
+
+  /// Writes every agent of the active simulation to `path`.
+  /// Throws std::runtime_error when an agent or behavior type was not
+  /// registered (stating the mangled type name).
+  static void Save(Simulation* sim, const std::string& path);
+
+  /// Restores a checkpoint into `sim`, which must not contain agents yet.
+  /// Substance-coupled behaviors re-resolve their DiffusionGrid by name,
+  /// so grids must be registered on `sim` before loading.
+  static void Load(Simulation* sim, const std::string& path);
+};
+
+#define BDM_REGISTER_AGENT(TYPE)                                          \
+  inline const bool bdm_registered_agent_##TYPE =                         \
+      ::bdm::io::Checkpoint::RegisterAgentType(                           \
+          #TYPE, std::type_index(typeid(TYPE)), [] { return new TYPE(); })
+
+#define BDM_REGISTER_BEHAVIOR(TYPE)                                       \
+  inline const bool bdm_registered_behavior_##TYPE =                      \
+      ::bdm::io::Checkpoint::RegisterBehaviorType(                        \
+          #TYPE, std::type_index(typeid(TYPE)), [] { return new TYPE(); })
+
+}  // namespace io
+}  // namespace bdm
+
+#endif  // BDM_IO_CHECKPOINT_H_

@@ -1,0 +1,64 @@
+#include "io/exporter.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+
+namespace bdm::io {
+
+void ExportCsv(Simulation* sim, const std::string& path) {
+  std::ofstream out(path);
+  out << "uid,x,y,z,diameter,type,static\n";
+  sim->GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    const Real3& p = agent->GetPosition();
+    const auto* cell = dynamic_cast<const Cell*>(agent);
+    out << agent->GetUid() << ',' << p.x << ',' << p.y << ',' << p.z << ','
+        << agent->GetDiameter() << ',' << (cell != nullptr ? cell->GetCellType() : -1)
+        << ',' << (agent->IsStatic() ? 1 : 0) << '\n';
+  });
+}
+
+void ExportVtk(Simulation* sim, const std::string& path) {
+  auto* rm = sim->GetResourceManager();
+  const uint64_t n = rm->GetNumAgents();
+  std::ostringstream points;
+  std::ostringstream diameters;
+  std::ostringstream types;
+  points.precision(9);
+  rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+    const Real3& p = agent->GetPosition();
+    points << p.x << ' ' << p.y << ' ' << p.z << '\n';
+    diameters << agent->GetDiameter() << '\n';
+    const auto* cell = dynamic_cast<const Cell*>(agent);
+    types << (cell != nullptr ? cell->GetCellType() : -1) << '\n';
+  });
+
+  std::ofstream out(path);
+  out << "# vtk DataFile Version 3.0\n"
+      << "bdm-engine snapshot of " << sim->GetName() << "\n"
+      << "ASCII\n"
+      << "DATASET POLYDATA\n"
+      << "POINTS " << n << " double\n"
+      << points.str()
+      << "POINT_DATA " << n << "\n"
+      << "SCALARS diameter double 1\nLOOKUP_TABLE default\n"
+      << diameters.str()
+      << "SCALARS type int 1\nLOOKUP_TABLE default\n"
+      << types.str();
+}
+
+void ExportOp::Run(Simulation* sim) {
+  const std::string path =
+      prefix_ + "_" + std::to_string(counter_++) +
+      (format_ == Format::kCsv ? ".csv" : ".vtk");
+  if (format_ == Format::kCsv) {
+    ExportCsv(sim, path);
+  } else {
+    ExportVtk(sim, path);
+  }
+}
+
+}  // namespace bdm::io

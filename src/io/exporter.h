@@ -1,0 +1,52 @@
+// Simulation state export.
+//
+// The paper's pipeline includes visualization as a post-standalone
+// operation (Algorithm 1 L16-18, Figure 5's operation categories).
+// BioDynaMo exports to ParaView; this module provides the equivalent
+// capability offline: CSV snapshots for ad-hoc plotting and legacy-VTK
+// POLYDATA files that ParaView opens directly. Both are exposed as
+// standalone operations with a configurable frequency.
+#ifndef BDM_IO_EXPORTER_H_
+#define BDM_IO_EXPORTER_H_
+
+#include <string>
+
+#include "core/operation.h"
+
+namespace bdm {
+
+class Simulation;
+
+namespace io {
+
+/// Writes "<prefix>_<iteration>.csv" with one row per agent:
+/// uid,x,y,z,diameter,type,static.
+void ExportCsv(Simulation* sim, const std::string& path);
+
+/// Writes a legacy-VTK (ASCII POLYDATA) point cloud of all agents with
+/// diameter and type as point data; loadable in ParaView.
+void ExportVtk(Simulation* sim, const std::string& path);
+
+enum class Format { kCsv, kVtk };
+
+/// Post-standalone operation that exports a snapshot every `frequency`
+/// iterations to "<prefix>_<iteration>.<ext>".
+class ExportOp : public StandaloneOperation {
+ public:
+  ExportOp(std::string prefix, Format format, int frequency)
+      : StandaloneOperation("visualization", frequency),
+        prefix_(std::move(prefix)),
+        format_(format) {}
+
+  void Run(Simulation* sim) override;
+
+ private:
+  std::string prefix_;
+  Format format_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace io
+}  // namespace bdm
+
+#endif  // BDM_IO_EXPORTER_H_

@@ -1,0 +1,33 @@
+#include "io/time_series.h"
+
+#include <fstream>
+
+namespace bdm::io {
+
+const std::vector<real_t>& TimeSeries::Get(const std::string& name) const {
+  static const std::vector<real_t> kEmpty;
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) {
+      return values_[i];
+    }
+  }
+  return kEmpty;
+}
+
+void TimeSeries::WriteCsv(const std::string& path) const {
+  std::ofstream out(path);
+  out << "sample";
+  for (const std::string& name : names_) {
+    out << ',' << name;
+  }
+  out << '\n';
+  for (size_t row = 0; row < iterations_.size(); ++row) {
+    out << iterations_[row];
+    for (const auto& column : values_) {
+      out << ',' << column[row];
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace bdm::io

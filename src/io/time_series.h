@@ -1,0 +1,77 @@
+// Time-series collection.
+//
+// Model development (paper Section 1: the calibrate-simulate-evaluate
+// loop) needs scalar observables per iteration -- population counts,
+// sorting indices, infection curves. TimeSeries registers named collector
+// functions and samples them as a post-standalone operation; results can
+// be dumped as CSV for plotting or asserted in tests.
+#ifndef BDM_IO_TIME_SERIES_H_
+#define BDM_IO_TIME_SERIES_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/operation.h"
+#include "math/real.h"
+
+namespace bdm {
+
+class Simulation;
+
+namespace io {
+
+class TimeSeries {
+ public:
+  using Collector = std::function<real_t(Simulation*)>;
+
+  /// Registers a named observable. Call before simulation starts.
+  void AddCollector(const std::string& name, Collector collector) {
+    names_.push_back(name);
+    collectors_.push_back(std::move(collector));
+    values_.emplace_back();
+  }
+
+  /// Samples every registered collector once.
+  void Sample(Simulation* sim) {
+    iterations_.push_back(next_iteration_++);
+    for (size_t i = 0; i < collectors_.size(); ++i) {
+      values_[i].push_back(collectors_[i](sim));
+    }
+  }
+
+  size_t NumSamples() const { return iterations_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  /// Sampled values of the collector registered under `name` (empty vector
+  /// for unknown names).
+  const std::vector<real_t>& Get(const std::string& name) const;
+
+  /// Writes iteration,<name1>,<name2>,... rows.
+  void WriteCsv(const std::string& path) const;
+
+ private:
+  uint64_t next_iteration_ = 0;
+  std::vector<std::string> names_;
+  std::vector<Collector> collectors_;
+  std::vector<std::vector<real_t>> values_;
+  std::vector<uint64_t> iterations_;
+};
+
+/// Post-standalone operation sampling a TimeSeries every `frequency`
+/// iterations. The TimeSeries is owned by the caller (it usually outlives
+/// the simulation so results can be inspected afterwards).
+class TimeSeriesOp : public StandaloneOperation {
+ public:
+  TimeSeriesOp(TimeSeries* series, int frequency)
+      : StandaloneOperation("time_series", frequency), series_(series) {}
+
+  void Run(Simulation* sim) override { series_->Sample(sim); }
+
+ private:
+  TimeSeries* series_;
+};
+
+}  // namespace io
+}  // namespace bdm
+
+#endif  // BDM_IO_TIME_SERIES_H_

@@ -1,0 +1,20 @@
+// Basic floating-point type used throughout the engine.
+//
+// The paper's benchmark simulations use double precision (Section 6.1), so
+// real_t defaults to double. Switching to float is a one-line change that the
+// whole engine honors.
+#ifndef BDM_MATH_REAL_H_
+#define BDM_MATH_REAL_H_
+
+#include <cstdint>
+
+namespace bdm {
+
+using real_t = double;
+
+/// Absolute tolerance used by geometric comparisons across the engine.
+inline constexpr real_t kEpsilon = 1e-9;
+
+}  // namespace bdm
+
+#endif  // BDM_MATH_REAL_H_

@@ -1,0 +1,98 @@
+// A small fixed-size 3D vector used for agent positions, forces, and
+// gradients. Deliberately a trivially-copyable aggregate so arrays of Real3
+// have a flat memory layout (important for the cache-oriented optimizations
+// in Section 4 of the paper).
+#ifndef BDM_MATH_REAL3_H_
+#define BDM_MATH_REAL3_H_
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <ostream>
+
+#include "math/real.h"
+
+namespace bdm {
+
+struct Real3 {
+  real_t x = 0;
+  real_t y = 0;
+  real_t z = 0;
+
+  constexpr real_t& operator[](size_t i) { return i == 0 ? x : (i == 1 ? y : z); }
+  constexpr const real_t& operator[](size_t i) const {
+    return i == 0 ? x : (i == 1 ? y : z);
+  }
+
+  constexpr Real3& operator+=(const Real3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Real3& operator-=(const Real3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Real3& operator*=(real_t s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Real3& operator/=(real_t s) { return *this *= (real_t{1} / s); }
+
+  friend constexpr Real3 operator+(Real3 a, const Real3& b) { return a += b; }
+  friend constexpr Real3 operator-(Real3 a, const Real3& b) { return a -= b; }
+  friend constexpr Real3 operator*(Real3 a, real_t s) { return a *= s; }
+  friend constexpr Real3 operator*(real_t s, Real3 a) { return a *= s; }
+  friend constexpr Real3 operator/(Real3 a, real_t s) { return a /= s; }
+  friend constexpr Real3 operator-(const Real3& a) { return {-a.x, -a.y, -a.z}; }
+
+  friend constexpr bool operator==(const Real3& a, const Real3& b) {
+    return a.x == b.x && a.y == b.y && a.z == b.z;
+  }
+
+  constexpr real_t Dot(const Real3& o) const { return x * o.x + y * o.y + z * o.z; }
+
+  constexpr Real3 Cross(const Real3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+
+  constexpr real_t SquaredNorm() const { return Dot(*this); }
+
+  real_t Norm() const { return std::sqrt(SquaredNorm()); }
+
+  /// Returns the normalized vector; the zero vector is returned unchanged.
+  Real3 Normalized() const {
+    const real_t n = Norm();
+    return n > kEpsilon ? *this / n : *this;
+  }
+
+  real_t SquaredDistance(const Real3& o) const { return (*this - o).SquaredNorm(); }
+
+  real_t Distance(const Real3& o) const { return (*this - o).Norm(); }
+
+  friend std::ostream& operator<<(std::ostream& os, const Real3& v) {
+    return os << "[" << v.x << ", " << v.y << ", " << v.z << "]";
+  }
+};
+
+static_assert(sizeof(Real3) == 3 * sizeof(real_t), "Real3 must be packed");
+
+/// Returns an arbitrary unit vector perpendicular to `v` (used by neurite
+/// branching to pick a growth direction off the mother axis).
+inline Real3 Perpendicular(const Real3& v) {
+  // Pick the coordinate axis least aligned with v to avoid degeneracy.
+  const Real3 axis = std::fabs(v.x) <= std::fabs(v.y) && std::fabs(v.x) <= std::fabs(v.z)
+                         ? Real3{1, 0, 0}
+                         : (std::fabs(v.y) <= std::fabs(v.z) ? Real3{0, 1, 0}
+                                                             : Real3{0, 0, 1});
+  return v.Cross(axis).Normalized();
+}
+
+}  // namespace bdm
+
+#endif  // BDM_MATH_REAL3_H_

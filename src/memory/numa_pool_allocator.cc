@@ -1,0 +1,118 @@
+#include "memory/numa_pool_allocator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <new>
+
+namespace bdm {
+
+namespace {
+
+size_t RoundUp(size_t value, size_t multiple) {
+  return (value + multiple - 1) / multiple * multiple;
+}
+
+}  // namespace
+
+NumaPoolAllocator::NumaPoolAllocator(size_t element_size, int numa_domain,
+                                     int num_thread_slots, const Config& config)
+    : element_size_(std::max(element_size, sizeof(FreeNode))),
+      numa_domain_(numa_domain),
+      config_(config),
+      segment_size_(kPageSize << config.aligned_pages_shift),
+      elements_per_segment_((segment_size_ - kSegmentHeaderSize) / element_size_),
+      local_(num_thread_slots),
+      next_block_size_(RoundUp(config.initial_block_size, segment_size_)) {
+  assert(elements_per_segment_ > 0 && "element too large for segment size");
+}
+
+NumaPoolAllocator::~NumaPoolAllocator() {
+  for (void* block : blocks_) {
+    std::free(block);
+  }
+}
+
+void* NumaPoolAllocator::New(int thread_slot) {
+  FreeList& list = local_[thread_slot];
+  FreeNode* node = list.Pop();
+  if (node == nullptr) {
+    Refill(thread_slot);
+    node = list.Pop();
+    if (node == nullptr) {
+      throw std::bad_alloc();
+    }
+  }
+  return node;
+}
+
+void NumaPoolAllocator::Delete(void* p, int thread_slot) {
+  FreeList& list = local_[thread_slot];
+  list.Push(static_cast<FreeNode*>(p));
+  // Migrate surplus batches to the central list so memory freed by one
+  // thread can be reused by others (the paper's leak-avoidance migration).
+  if (list.NumFullBatches() > config_.max_local_batches) {
+    std::scoped_lock lock(central_mutex_);
+    while (list.NumFullBatches() > config_.max_local_batches) {
+      central_.PushBatch(list.PopBatch());
+    }
+  }
+}
+
+void NumaPoolAllocator::Refill(int thread_slot) {
+  FreeList& list = local_[thread_slot];
+  {
+    std::scoped_lock lock(central_mutex_);
+    if (FreeNode* batch = central_.PopBatch()) {
+      list.PushBatch(batch);
+      return;
+    }
+  }
+  std::scoped_lock lock(block_mutex_);
+  CarveBatchLocked(&list);
+}
+
+void NumaPoolAllocator::CarveBatchLocked(FreeList* list) {
+  for (size_t i = 0; i < kFreeListBatchSize; ++i) {
+    if (carve_cursor_ == nullptr ||
+        carve_cursor_ + element_size_ > carve_segment_end_) {
+      // Advance to the next segment, or to a new block.
+      char* next_segment =
+          carve_segment_end_ == nullptr
+              ? nullptr
+              : carve_block_end_ == carve_segment_end_ ? nullptr
+                                                       : carve_segment_end_;
+      if (next_segment == nullptr) {
+        AllocateBlockLocked();
+        next_segment = carve_cursor_;  // set by AllocateBlockLocked
+      }
+      // Stamp the segment header with the owning allocator.
+      *reinterpret_cast<void**>(next_segment) = this;
+      carve_cursor_ = next_segment + kSegmentHeaderSize;
+      carve_segment_end_ = next_segment + segment_size_;
+    }
+    list->Push(reinterpret_cast<FreeNode*>(carve_cursor_));
+    carve_cursor_ += element_size_;
+  }
+}
+
+void NumaPoolAllocator::AllocateBlockLocked() {
+  const size_t size = next_block_size_;
+  // The paper's numa_alloc_onnode returns unaligned memory and wastes the
+  // block edges; std::aligned_alloc gives us segment alignment directly.
+  // (With a real libnuma we would bind `block` to numa_domain_ here.)
+  void* block = std::aligned_alloc(segment_size_, size);
+  if (block == nullptr) {
+    throw std::bad_alloc();
+  }
+  blocks_.push_back(block);
+  total_reserved_ += size;
+  carve_cursor_ = static_cast<char*>(block);
+  carve_segment_end_ = carve_cursor_;  // forces header stamping on first carve
+  carve_block_end_ = carve_cursor_ + size;
+  next_block_size_ = std::min(
+      config_.max_block_size,
+      RoundUp(static_cast<size_t>(size * config_.growth_rate), segment_size_));
+}
+
+}  // namespace bdm

@@ -1,0 +1,42 @@
+// Cell clustering model (paper Table 1, column 2).
+//
+// Characteristics: uses diffusion (the paper runs 54M diffusion volumes).
+// Two cell populations each secrete their own substance and chemotactically
+// follow their own substance's gradient, so same-type cells aggregate into
+// clusters over time.
+#ifndef BDM_MODELS_CELL_CLUSTERING_H_
+#define BDM_MODELS_CELL_CLUSTERING_H_
+
+#include <cstdint>
+
+#include "math/real.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::clustering {
+
+struct Config {
+  uint64_t num_cells = 10000;
+  real_t space = 400;             // cubic simulation box side length
+  real_t diameter = 10;
+  int substance_resolution = 32;  // diffusion volumes per axis
+  real_t diffusion_coefficient = 100;
+  real_t decay = 1.0;
+  real_t secretion_rate = 100;
+  /// um per unit time along the own-substance gradient (10 um per
+  /// iteration at dt = 0.01 -- strong chemotaxis so clusters form within
+  /// the paper's 1000-iteration budget).
+  real_t chemotaxis_speed = 1000;
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+/// Mean fraction of same-type cells among each cell's neighbors within
+/// `radius` -- approaches 1 as clusters form. Requires a fresh environment.
+real_t SameTypeNeighborFraction(Simulation* sim, real_t radius);
+
+}  // namespace bdm::models::clustering
+
+#endif  // BDM_MODELS_CELL_CLUSTERING_H_

@@ -1,0 +1,40 @@
+#include "models/cell_proliferation.h"
+
+#include <cmath>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/common_behaviors.h"
+
+namespace bdm::models::proliferation {
+
+void Build(Simulation* sim, const Config& config) {
+  auto* rm = sim->GetResourceManager();
+  auto* random = sim->GetActiveExecutionContext()->random();
+  const auto side = static_cast<uint64_t>(
+      std::cbrt(static_cast<double>(config.num_cells)) + 1e-9);
+  const real_t extent = static_cast<real_t>(side) * config.spacing;
+  uint64_t created = 0;
+  for (uint64_t z = 0; z < side && created < config.num_cells; ++z) {
+    for (uint64_t y = 0; y < side && created < config.num_cells; ++y) {
+      for (uint64_t x = 0; x < side && created < config.num_cells; ++x) {
+        Real3 position;
+        if (config.random_init) {
+          position = random->UniformPoint(0, extent);
+        } else {
+          position = {static_cast<real_t>(x) * config.spacing,
+                      static_cast<real_t>(y) * config.spacing,
+                      static_cast<real_t>(z) * config.spacing};
+        }
+        auto* cell = new Cell(position, config.diameter);
+        cell->AddBehavior(new GrowDivide(config.volume_growth_rate,
+                                         config.division_diameter));
+        rm->AddAgent(cell);
+        ++created;
+      }
+    }
+  }
+}
+
+}  // namespace bdm::models::proliferation

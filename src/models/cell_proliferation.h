@@ -1,0 +1,33 @@
+// Cell proliferation model (paper Table 1, column 1).
+//
+// Characteristics: creates new agents during the simulation; initialized as
+// a regular 3D grid of cells (which the paper notes improves memory
+// alignment compared to random initialization, Section 6.11). Every cell
+// grows at a constant volume rate and divides at a threshold diameter.
+#ifndef BDM_MODELS_CELL_PROLIFERATION_H_
+#define BDM_MODELS_CELL_PROLIFERATION_H_
+
+#include <cstdint>
+
+#include "math/real.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::proliferation {
+
+struct Config {
+  uint64_t num_cells = 8000;      // rounded down to a cube number
+  real_t spacing = 20;            // initial lattice spacing
+  real_t diameter = 8;
+  real_t volume_growth_rate = 4000;
+  real_t division_diameter = 16;
+  bool random_init = false;       // Section 6.11 studies the random variant
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+}  // namespace bdm::models::proliferation
+
+#endif  // BDM_MODELS_CELL_PROLIFERATION_H_

@@ -1,0 +1,119 @@
+#include "models/common_behaviors.h"
+
+#include <algorithm>
+
+#include "io/binary.h"
+
+#include "continuum/diffusion_grid.h"
+#include "core/cell.h"
+#include "core/execution_context.h"
+#include "core/simulation.h"
+
+namespace bdm::models {
+
+void GrowDivide::Run(Agent* agent, ExecutionContext* ctx) {
+  auto* cell = static_cast<Cell*>(agent);
+  if (cell->GetDiameter() >= division_diameter_) {
+    cell->Divide(ctx, ctx->random()->UnitVector());
+  } else {
+    cell->ChangeVolume(volume_growth_rate_ *
+                       Simulation::GetActive()->GetParam().dt);
+  }
+}
+
+void RandomWalk::Run(Agent* agent, ExecutionContext* ctx) {
+  agent->SetPosition(agent->GetPosition() +
+                     ctx->random()->UnitVector() * step_length_);
+}
+
+void ReflectiveBounds::Run(Agent* agent, ExecutionContext* ctx) {
+  (void)ctx;
+  Real3 position = agent->GetPosition();
+  bool moved = false;
+  for (int c = 0; c < 3; ++c) {
+    if (position[c] < min_) {
+      position[c] = std::min(2 * min_ - position[c], max_);
+      moved = true;
+    } else if (position[c] > max_) {
+      position[c] = std::max(2 * max_ - position[c], min_);
+      moved = true;
+    }
+  }
+  if (moved) {
+    agent->SetPosition(position);
+  }
+}
+
+void Secretion::Run(Agent* agent, ExecutionContext* ctx) {
+  (void)ctx;
+  grid_->IncreaseConcentrationBy(
+      agent->GetPosition(), rate_ * Simulation::GetActive()->GetParam().dt);
+}
+
+void Chemotaxis::Run(Agent* agent, ExecutionContext* ctx) {
+  (void)ctx;
+  const Real3 gradient = grid_->GetGradient(agent->GetPosition());
+  if (gradient.SquaredNorm() < kEpsilon) {
+    return;
+  }
+  const real_t dt = Simulation::GetActive()->GetParam().dt;
+  agent->SetPosition(agent->GetPosition() +
+                     gradient.Normalized() * (speed_ * dt));
+}
+
+
+// --- checkpoint serialization ---------------------------------------------
+
+void GrowDivide::WriteState(std::ostream& out) const {
+  io::WriteScalar(out, volume_growth_rate_);
+  io::WriteScalar(out, division_diameter_);
+}
+
+void GrowDivide::ReadState(std::istream& in) {
+  volume_growth_rate_ = io::ReadScalar<real_t>(in);
+  division_diameter_ = io::ReadScalar<real_t>(in);
+}
+
+void RandomWalk::WriteState(std::ostream& out) const {
+  io::WriteScalar(out, step_length_);
+}
+
+void RandomWalk::ReadState(std::istream& in) {
+  step_length_ = io::ReadScalar<real_t>(in);
+}
+
+void ReflectiveBounds::WriteState(std::ostream& out) const {
+  io::WriteScalar(out, min_);
+  io::WriteScalar(out, max_);
+}
+
+void ReflectiveBounds::ReadState(std::istream& in) {
+  min_ = io::ReadScalar<real_t>(in);
+  max_ = io::ReadScalar<real_t>(in);
+}
+
+// Substance-coupled behaviors persist the substance *name* and re-resolve
+// the grid pointer inside the restoring simulation.
+void Secretion::WriteState(std::ostream& out) const {
+  io::WriteString(out, grid_ != nullptr ? grid_->GetName() : "");
+  io::WriteScalar(out, rate_);
+}
+
+void Secretion::ReadState(std::istream& in) {
+  const std::string substance = io::ReadString(in);
+  grid_ = Simulation::GetActive()->GetDiffusionGrid(substance);
+  rate_ = io::ReadScalar<real_t>(in);
+}
+
+void Chemotaxis::WriteState(std::ostream& out) const {
+  io::WriteString(out, grid_ != nullptr ? grid_->GetName() : "");
+  io::WriteScalar(out, speed_);
+}
+
+void Chemotaxis::ReadState(std::istream& in) {
+  const std::string substance = io::ReadString(in);
+  grid_ = Simulation::GetActive()->GetDiffusionGrid(substance);
+  speed_ = io::ReadScalar<real_t>(in);
+}
+
+}  // namespace bdm::models

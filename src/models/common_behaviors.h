@@ -1,0 +1,106 @@
+// Behaviors shared across the benchmark models (paper Section 6.1).
+#ifndef BDM_MODELS_COMMON_BEHAVIORS_H_
+#define BDM_MODELS_COMMON_BEHAVIORS_H_
+
+#include "core/behavior.h"
+#include "math/real.h"
+#include "math/real3.h"
+
+namespace bdm {
+class DiffusionGrid;
+}
+
+namespace bdm::models {
+
+/// Grows the cell volume at a constant rate and divides once the diameter
+/// reaches a threshold (cell proliferation model; also reused by oncology).
+class GrowDivide : public Behavior {
+ public:
+  GrowDivide() = default;
+  GrowDivide(real_t volume_growth_rate, real_t division_diameter)
+      : volume_growth_rate_(volume_growth_rate),
+        division_diameter_(division_diameter) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+  Behavior* NewCopy() const override { return new GrowDivide(*this); }
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  /// um^3 per unit time; at dt = 0.01 the default doubles an 8 um cell's
+  /// volume in roughly 50 iterations, matching the pace of the paper's
+  /// 500-iteration proliferation benchmark.
+  real_t volume_growth_rate_ = 4000;
+  real_t division_diameter_ = 16;
+};
+
+/// Uniform random displacement of fixed step length per iteration
+/// (epidemiology: "agents move randomly with large distances").
+class RandomWalk : public Behavior {
+ public:
+  RandomWalk() = default;
+  explicit RandomWalk(real_t step_length) : step_length_(step_length) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+  Behavior* NewCopy() const override { return new RandomWalk(*this); }
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  real_t step_length_ = 1;
+};
+
+/// Deposits substance into a diffusion grid at the agent position.
+class Secretion : public Behavior {
+ public:
+  Secretion() = default;
+  Secretion(DiffusionGrid* grid, real_t rate) : grid_(grid), rate_(rate) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+  Behavior* NewCopy() const override { return new Secretion(*this); }
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  DiffusionGrid* grid_ = nullptr;
+  real_t rate_ = 1;
+};
+
+/// Keeps the agent inside an axis-aligned box by reflecting the
+/// out-of-bounds coordinate back across the wall. Applied after movement
+/// behaviors so random walkers stay inside the simulation space.
+class ReflectiveBounds : public Behavior {
+ public:
+  ReflectiveBounds() = default;
+  ReflectiveBounds(real_t min, real_t max) : min_(min), max_(max) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+  Behavior* NewCopy() const override { return new ReflectiveBounds(*this); }
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  real_t min_ = 0;
+  real_t max_ = 1000;
+};
+
+/// Moves the agent up the concentration gradient of a substance
+/// (cell clustering model).
+class Chemotaxis : public Behavior {
+ public:
+  Chemotaxis() = default;
+  Chemotaxis(DiffusionGrid* grid, real_t speed) : grid_(grid), speed_(speed) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+  Behavior* NewCopy() const override { return new Chemotaxis(*this); }
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  DiffusionGrid* grid_ = nullptr;
+  real_t speed_ = 1;
+};
+
+}  // namespace bdm::models
+
+#endif  // BDM_MODELS_COMMON_BEHAVIORS_H_

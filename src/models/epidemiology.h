@@ -1,0 +1,49 @@
+// Epidemiology model (paper Table 1, column 3).
+//
+// Characteristics: load imbalance and agents moving randomly with large
+// distances between iterations. Persons random-walk through a large space
+// and carry an SIR (susceptible / infected / recovered) state: susceptible
+// agents become infected with some probability when an infected agent is
+// within the infection radius, and infected agents recover after a fixed
+// number of iterations. Load imbalance comes from a dense population center
+// inside a sparse periphery.
+#ifndef BDM_MODELS_EPIDEMIOLOGY_H_
+#define BDM_MODELS_EPIDEMIOLOGY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "math/real.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::epidemiology {
+
+/// SIR states, stored in Cell::cell_type so metrics can read them without
+/// touching the behavior objects.
+enum State : int { kSusceptible = 0, kInfected = 1, kRecovered = 2 };
+
+struct Config {
+  uint64_t num_persons = 10000;
+  real_t space = 2000;             // large, sparsely populated space
+  real_t diameter = 5;
+  real_t step_length = 15;         // random-walk distance per iteration
+  real_t infection_radius = 10;
+  real_t infection_probability = 0.25;
+  int recovery_time = 50;          // iterations until recovery
+  real_t initial_infected_fraction = 0.01;
+  /// Fraction of the population packed into a dense central cluster
+  /// (creates the load imbalance of Table 1).
+  real_t urban_fraction = 0.5;
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+/// Returns {#susceptible, #infected, #recovered}.
+std::array<uint64_t, 3> CountStates(Simulation* sim);
+
+}  // namespace bdm::models::epidemiology
+
+#endif  // BDM_MODELS_EPIDEMIOLOGY_H_

@@ -1,0 +1,63 @@
+// Flocking (boids) model.
+//
+// The paper positions agent-based modeling far beyond biology (Section 1:
+// sociology, economics, technology, ...). This classic Reynolds flocking
+// model demonstrates the engine on a non-biological workload: agents carry
+// a velocity, steer by separation / alignment / cohesion over their
+// neighborhood, and develop global polarization from local rules -- while
+// exercising the same neighbor-search and iteration machinery as the
+// Table 1 models.
+#ifndef BDM_MODELS_FLOCKING_H_
+#define BDM_MODELS_FLOCKING_H_
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "core/cell.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::flocking {
+
+/// A boid: a spherical agent with persistent velocity.
+class Boid : public Cell {
+ public:
+  Boid() = default;
+  Boid(const Real3& position, real_t diameter) : Cell(position, diameter) {}
+  Boid(const Boid&) = default;
+
+  Agent* NewCopy() const override { return new Boid(*this); }
+
+  const Real3& GetVelocity() const { return velocity_; }
+  void SetVelocity(const Real3& velocity) { velocity_ = velocity; }
+
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  Real3 velocity_{1, 0, 0};
+};
+
+struct Config {
+  uint64_t num_boids = 1000;
+  real_t space = 300;
+  real_t diameter = 4;
+  real_t perception_radius = 30;
+  real_t separation_radius = 8;
+  real_t max_speed = 5;            // distance units per iteration
+  real_t separation_weight = 0.6;
+  real_t alignment_weight = 0.25;
+  real_t cohesion_weight = 0.08;
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+/// Polarization order parameter: |mean of velocity unit vectors|.
+/// ~0 for random headings, -> 1 for a fully aligned flock.
+real_t Polarization(Simulation* sim);
+
+}  // namespace bdm::models::flocking
+
+#endif  // BDM_MODELS_FLOCKING_H_

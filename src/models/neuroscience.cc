@@ -1,0 +1,71 @@
+#include "models/neuroscience.h"
+
+#include <cmath>
+#include <memory>
+
+#include "continuum/diffusion_grid.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "neuro/neurite_element.h"
+#include "neuro/neuron_soma.h"
+
+namespace bdm::models::neuroscience {
+
+void Build(Simulation* sim, const Config& config) {
+  auto* rm = sim->GetResourceManager();
+  auto* ctx = sim->GetActiveExecutionContext();
+  auto* random = ctx->random();
+
+  const auto side = static_cast<uint64_t>(
+      std::sqrt(static_cast<double>(config.num_neurons)) + 1e-9);
+  const real_t extent = static_cast<real_t>(side) * config.spacing;
+  if (config.with_substance) {
+    // Guidance cue field spanning the sheet plus the expected growth height.
+    const real_t height = 200;
+    sim->AddDiffusionGrid(
+        std::make_unique<DiffusionGrid>("guidance", 100, 0.01,
+                                        config.substance_resolution),
+        {0, 0, 0}, {extent, extent, height});
+  }
+
+  uint64_t created = 0;
+  for (uint64_t y = 0; y < side && created < config.num_neurons; ++y) {
+    for (uint64_t x = 0; x < side && created < config.num_neurons; ++x) {
+      auto* soma =
+          new neuro::NeuronSoma({static_cast<real_t>(x) * config.spacing,
+                                 static_cast<real_t>(y) * config.spacing, 0},
+                                config.soma_diameter);
+      rm->AddAgent(soma);
+      for (int n = 0; n < config.neurites_per_soma; ++n) {
+        // Grow mostly upward with a random tilt.
+        const Real3 direction =
+            (Real3{random->Uniform(-0.4, 0.4), random->Uniform(-0.4, 0.4), 1})
+                .Normalized();
+        auto* neurite = soma->ExtendNewNeurite(ctx, direction);
+        neurite->AddBehavior(new neuro::GrowthCone(config.growth));
+      }
+      ++created;
+    }
+  }
+  // Somata were added through the ResourceManager directly, but the
+  // neurites sit in the execution-context buffer; commit them so the model
+  // is complete before the first iteration.
+  rm->Commit(sim->GetAllExecutionContexts());
+}
+
+TreeStats ComputeTreeStats(Simulation* sim) {
+  TreeStats stats;
+  sim->GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    if (auto* neurite = dynamic_cast<neuro::NeuriteElement*>(agent)) {
+      ++stats.elements;
+      if (neurite->IsTerminal()) {
+        ++stats.terminals;
+      }
+    } else if (dynamic_cast<neuro::NeuronSoma*>(agent) != nullptr) {
+      ++stats.somata;
+    }
+  });
+  return stats;
+}
+
+}  // namespace bdm::models::neuroscience

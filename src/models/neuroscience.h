@@ -1,0 +1,45 @@
+// Neuroscience model (paper Table 1, column 4).
+//
+// Characteristics: creates agents during the simulation (growing neurites),
+// agents modify neighbors (tree mechanics), load imbalance (activity is
+// concentrated at growth fronts), uses diffusion (a guidance substance
+// secreted at the tips), and has static regions -- the completed parts of
+// each dendritic tree never move again, which is what the static-agent
+// detection of Section 5 exploits (9.22x speedup in Figure 8).
+#ifndef BDM_MODELS_NEUROSCIENCE_H_
+#define BDM_MODELS_NEUROSCIENCE_H_
+
+#include <cstdint>
+
+#include "math/real.h"
+#include "neuro/growth_behaviors.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::neuroscience {
+
+struct Config {
+  uint64_t num_neurons = 64;  // somata on a 2D sheet; dendrites grow upward
+  real_t spacing = 30;
+  real_t soma_diameter = 12;
+  int neurites_per_soma = 2;
+  neuro::GrowthCone::Config growth;
+  bool with_substance = true;
+  int substance_resolution = 16;
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+/// Counts of {somata, neurite elements, terminal (growing) elements}.
+struct TreeStats {
+  uint64_t somata = 0;
+  uint64_t elements = 0;
+  uint64_t terminals = 0;
+};
+TreeStats ComputeTreeStats(Simulation* sim);
+
+}  // namespace bdm::models::neuroscience
+
+#endif  // BDM_MODELS_NEUROSCIENCE_H_

@@ -1,0 +1,40 @@
+// Oncology (tumor spheroid) model (paper Table 1, column 5).
+//
+// Characteristics: creates AND deletes agents (the only benchmark that
+// removes agents -- it drives the parallel-removal result of Section 6.7),
+// and agents move randomly (micro-motion). Tumor cells grow and divide at
+// the spheroid rim; crowded cells in the core die (hypoxia proxy) and are
+// removed from the simulation. Initialized as a random ball of cells.
+#ifndef BDM_MODELS_ONCOLOGY_H_
+#define BDM_MODELS_ONCOLOGY_H_
+
+#include <cstdint>
+
+#include "math/real.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models::oncology {
+
+struct Config {
+  uint64_t num_cells = 5000;
+  real_t spheroid_radius = 85;
+  real_t diameter = 10;
+  real_t volume_growth_rate = 3000;
+  real_t division_diameter = 14;
+  real_t micro_motion_step = 0.5;
+  /// A cell with more than this many neighbors within the crowding radius
+  /// is considered hypoxic.
+  int crowding_threshold = 12;
+  real_t crowding_radius = 12;
+  /// Per-iteration death probability for hypoxic cells.
+  real_t death_probability = 0.05;
+};
+
+void Build(Simulation* sim, const Config& config = {});
+
+}  // namespace bdm::models::oncology
+
+#endif  // BDM_MODELS_ONCOLOGY_H_

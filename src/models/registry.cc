@@ -1,0 +1,130 @@
+#include "models/registry.h"
+
+#include <cmath>
+
+#include "models/cell_clustering.h"
+#include "models/cell_proliferation.h"
+#include "models/cell_sorting.h"
+#include "models/epidemiology.h"
+#include "models/neuroscience.h"
+#include "models/oncology.h"
+
+namespace bdm::models {
+
+namespace {
+
+void BuildProliferation(Simulation* sim, uint64_t scale) {
+  proliferation::Config config;
+  config.num_cells = scale;
+  proliferation::Build(sim, config);
+}
+
+void BuildClustering(Simulation* sim, uint64_t scale) {
+  clustering::Config config;
+  config.num_cells = scale;
+  // Keep density roughly constant as the scale grows (tissue-like packing
+  // so the boxes/agent ratio stays realistic at reduced agent counts).
+  config.space = std::max<real_t>(
+      100, 20 * std::cbrt(static_cast<real_t>(scale)));
+  clustering::Build(sim, config);
+}
+
+void ConfigureEpidemiology(Param* param) {
+  // The infection radius (10 um) far exceeds the person diameter (5 um); a
+  // modeler sets the grid box length to the interaction radius instead of
+  // letting it default to the largest diameter, which would make the
+  // sparse space pay for 64x more boxes.
+  param->fixed_box_length = 10;
+}
+
+void BuildEpidemiology(Simulation* sim, uint64_t scale) {
+  epidemiology::Config config;
+  config.num_persons = scale;
+  config.space =
+      std::max<real_t>(200, 80 * std::cbrt(static_cast<real_t>(scale)));
+  epidemiology::Build(sim, config);
+}
+
+void BuildNeuroscience(Simulation* sim, uint64_t scale) {
+  neuroscience::Config config;
+  // Most agents of this model are neurite elements created during the run;
+  // scale refers to the number of neurons.
+  config.num_neurons = std::max<uint64_t>(scale / 64, 4);
+  neuroscience::Build(sim, config);
+}
+
+void ConfigureNeuroscience(Param* param) {
+  // "The modeler usually knows this characteristic a priori and only
+  // enables the mechanism if static regions are expected" (Section 6.6).
+  param->detect_static_agents = true;
+}
+
+void BuildOncology(Simulation* sim, uint64_t scale) {
+  oncology::Config config;
+  config.num_cells = scale;
+  // Dense enough that the core is hypoxic from the start (the model must
+  // delete agents, Table 1).
+  config.spheroid_radius =
+      std::max<real_t>(40, 5 * std::cbrt(static_cast<real_t>(scale)));
+  oncology::Build(sim, config);
+}
+
+void BuildCellSorting(Simulation* sim, uint64_t scale) {
+  cell_sorting::Config config;
+  config.num_cells = scale;
+  config.space = std::max<real_t>(
+      100, 14 * std::cbrt(static_cast<real_t>(scale)));
+  cell_sorting::Build(sim, config);
+}
+
+}  // namespace
+
+const std::vector<ModelInfo>& AllModels() {
+  static const std::vector<ModelInfo> models = {
+      {.name = "proliferation",
+       .creates_agents = true,
+       .paper_iterations = 500,
+       .build = &BuildProliferation},
+      {.name = "clustering",
+       .uses_diffusion = true,
+       .paper_iterations = 1000,
+       .build = &BuildClustering},
+      {.name = "epidemiology",
+       .load_imbalance = true,
+       .random_movement = true,
+       .paper_iterations = 1000,
+       .build = &BuildEpidemiology,
+       .configure = &ConfigureEpidemiology},
+      {.name = "neuroscience",
+       .creates_agents = true,
+       .modifies_neighbors = true,
+       .load_imbalance = true,
+       .uses_diffusion = true,
+       .has_static_regions = true,
+       .paper_iterations = 500,
+       .build = &BuildNeuroscience,
+       .configure = &ConfigureNeuroscience},
+      {.name = "oncology",
+       .creates_agents = true,
+       .deletes_agents = true,
+       .random_movement = true,
+       .paper_iterations = 288,
+       .build = &BuildOncology},
+      {.name = "cell_sorting",
+       .random_movement = true,
+       .paper_iterations = 500,
+       .build = &BuildCellSorting},
+  };
+  return models;
+}
+
+const ModelInfo* FindModel(const std::string& name) {
+  for (const ModelInfo& model : AllModels()) {
+    if (model.name == name) {
+      return &model;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace bdm::models

@@ -1,0 +1,46 @@
+// Model registry: uniform access to the benchmark simulations for the
+// evaluation harnesses (one entry per Table 1 column plus the Biocellion
+// cell-sorting model).
+#ifndef BDM_MODELS_REGISTRY_H_
+#define BDM_MODELS_REGISTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/param.h"
+
+namespace bdm {
+class Simulation;
+}
+
+namespace bdm::models {
+
+struct ModelInfo {
+  std::string name;
+  /// Table 1 characteristics (printed by bench_table1, asserted by tests).
+  bool creates_agents = false;
+  bool deletes_agents = false;
+  bool modifies_neighbors = false;
+  bool load_imbalance = false;
+  bool random_movement = false;
+  bool uses_diffusion = false;
+  bool has_static_regions = false;
+  /// Iteration count of the paper's full benchmark run (Table 1 bottom).
+  int paper_iterations = 0;
+  /// Populates the simulation with approximately `scale` initial agents.
+  void (*build)(Simulation* sim, uint64_t scale) = nullptr;
+  /// Model-specific parameter adjustments (e.g. the neuroscience model
+  /// enables detect_static_agents, as the paper's modelers would).
+  void (*configure)(Param* param) = nullptr;
+};
+
+/// All registered models in Table 1 order, then cell_sorting.
+const std::vector<ModelInfo>& AllModels();
+
+/// Lookup by name; returns nullptr when unknown.
+const ModelInfo* FindModel(const std::string& name);
+
+}  // namespace bdm::models
+
+#endif  // BDM_MODELS_REGISTRY_H_

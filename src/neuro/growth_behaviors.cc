@@ -1,0 +1,53 @@
+#include "neuro/growth_behaviors.h"
+
+#include "core/execution_context.h"
+#include "core/simulation.h"
+#include "io/binary.h"
+#include "neuro/neurite_element.h"
+
+namespace bdm::neuro {
+
+void GrowthCone::WriteState(std::ostream& out) const {
+  io::WriteScalar(out, config_);  // Config is a trivially copyable aggregate
+}
+
+void GrowthCone::ReadState(std::istream& in) {
+  config_ = io::ReadScalar<Config>(in);
+}
+
+void GrowthCone::Run(Agent* agent, ExecutionContext* ctx) {
+  auto* neurite = dynamic_cast<NeuriteElement*>(agent);
+  if (neurite == nullptr || !neurite->IsTerminal()) {
+    return;
+  }
+  Random* random = ctx->random();
+
+  // Bifurcate with a small probability, handing a growth cone to each
+  // branch.
+  if (neurite->GetBranchOrder() < config_.max_branch_order &&
+      random->Bool(config_.branch_probability)) {
+    NeuriteElement* left = nullptr;
+    NeuriteElement* right = nullptr;
+    neurite->Bifurcate(ctx, config_.branch_angle, random, &left, &right);
+    left->AddBehavior(new GrowthCone(*this));
+    right->AddBehavior(new GrowthCone(*this));
+    neurite->RemoveBehavior(this);  // `this` is destroyed here
+    return;
+  }
+
+  // Elongate towards the current direction with a random wiggle.
+  const Real3 direction =
+      (neurite->GetSpringAxis() + random->UnitVector() * config_.wiggle)
+          .Normalized();
+  neurite->ElongateTerminalEnd(config_.speed, direction,
+                               Simulation::GetActive()->GetParam().dt);
+
+  // Discretize: freeze this element and continue growing from a daughter.
+  if (neurite->GetActualLength() > config_.max_element_length) {
+    NeuriteElement* daughter = neurite->ProlongToDaughter(ctx);
+    daughter->AddBehavior(new GrowthCone(*this));
+    neurite->RemoveBehavior(this);  // `this` is destroyed here
+  }
+}
+
+}  // namespace bdm::neuro

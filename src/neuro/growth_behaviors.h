@@ -1,0 +1,48 @@
+// Growth-cone behaviors for neural development.
+//
+// GrowthCone drives a terminal neurite element: it elongates with a random
+// wiggle, bifurcates with a configurable probability (bounded by a maximum
+// branch order), and when the element exceeds the discretization length it
+// freezes the element and migrates itself to a fresh daughter at the tip.
+// Interior elements therefore carry no behaviors and stop moving -- the
+// static-region structure the Section 5 optimization targets.
+#ifndef BDM_NEURO_GROWTH_BEHAVIORS_H_
+#define BDM_NEURO_GROWTH_BEHAVIORS_H_
+
+#include "core/behavior.h"
+#include "math/real.h"
+#include "math/real3.h"
+
+namespace bdm::neuro {
+
+class GrowthCone : public Behavior {
+ public:
+  struct Config {
+    real_t speed = 50.0;             // elongation speed (um per time unit)
+    real_t max_element_length = 5.0; // discretization length
+    real_t branch_probability = 0.006;
+    real_t branch_angle = 0.5;       // radians off the mother axis
+    int max_branch_order = 4;
+    real_t wiggle = 0.15;            // random direction perturbation
+  };
+
+  GrowthCone() = default;
+  explicit GrowthCone(const Config& config) : config_(config) {}
+
+  void Run(Agent* agent, ExecutionContext* ctx) override;
+
+  Behavior* NewCopy() const override { return new GrowthCone(*this); }
+  /// Growth cones are migrated explicitly between elements, never copied by
+  /// division events.
+  bool CopyToNewAgent() const override { return false; }
+
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace bdm::neuro
+
+#endif  // BDM_NEURO_GROWTH_BEHAVIORS_H_

@@ -1,0 +1,109 @@
+// Neurite element: a cylindrical agent for neural-development simulations.
+//
+// BioDynaMo's headline capability is "simulating the development of
+// neurons" (paper Section 1, contribution 1). A neurite (axon/dendrite) is
+// discretized into a chain/tree of NeuriteElements. Each element stores its
+// distal point as the agent position and its spring axis pointing from the
+// proximal attachment (mother's distal point, or the soma surface) to the
+// distal point. Mechanics combine a Cortex3D-style spring along the axis
+// with sphere-approximated collision forces against unrelated neighbors.
+//
+// Growth happens at terminal elements only: an elongating tip stretches its
+// spring; once it exceeds the discretization length it freezes and hands the
+// growth cone to a freshly created daughter element. The interior of the
+// tree therefore stops moving -- exactly the "active growth front, remaining
+// part unchanged" structure that the static-agent detection of Section 5
+// exploits.
+#ifndef BDM_NEURO_NEURITE_ELEMENT_H_
+#define BDM_NEURO_NEURITE_ELEMENT_H_
+
+#include "core/agent.h"
+#include "core/agent_pointer.h"
+
+namespace bdm::neuro {
+
+class NeuriteElement : public Agent {
+ public:
+  NeuriteElement() = default;
+  NeuriteElement(const NeuriteElement&) = default;
+
+  real_t GetDiameter() const override { return diameter_; }
+  void SetDiameter(real_t diameter) override {
+    if (diameter > diameter_) {
+      FlagModified(/*affects_neighbors=*/true);
+    }
+    diameter_ = diameter;
+  }
+
+  Agent* NewCopy() const override { return new NeuriteElement(*this); }
+
+  // --- tree topology ---------------------------------------------------------
+  const AgentPointer<Agent>& GetMother() const { return mother_; }
+  void SetMother(const AgentPointer<Agent>& mother) { mother_ = mother; }
+  const AgentPointer<NeuriteElement>& GetDaughterLeft() const {
+    return daughter_left_;
+  }
+  const AgentPointer<NeuriteElement>& GetDaughterRight() const {
+    return daughter_right_;
+  }
+  bool IsTerminal() const { return !daughter_left_.GetUid().IsValid(); }
+  int GetBranchOrder() const { return branch_order_; }
+  void SetBranchOrder(int order) { branch_order_ = order; }
+
+  // --- geometry ----------------------------------------------------------------
+  /// Unit vector from the proximal to the distal end.
+  const Real3& GetSpringAxis() const { return spring_axis_; }
+  void SetSpringAxis(const Real3& axis) { spring_axis_ = axis; }
+  real_t GetActualLength() const { return actual_length_; }
+  void SetActualLength(real_t length) { actual_length_ = length; }
+  real_t GetRestingLength() const { return resting_length_; }
+  void SetRestingLength(real_t length) { resting_length_ = length; }
+  /// Proximal attachment point (distal point of the mother).
+  Real3 GetProximalEnd() const {
+    return GetPosition() - spring_axis_ * actual_length_;
+  }
+
+  // --- growth ------------------------------------------------------------------
+  /// Elongates a terminal element by speed*dt towards `direction` (blended
+  /// with the current axis to keep curvature realistic).
+  void ElongateTerminalEnd(real_t speed, const Real3& direction, real_t dt);
+
+  /// Splits off a new terminal daughter continuing in the current
+  /// direction; this element freezes. Growth-cone behaviors must be moved
+  /// to the returned daughter by the caller. Returns nullptr when this
+  /// element is not terminal.
+  NeuriteElement* ProlongToDaughter(ExecutionContext* ctx);
+
+  /// Terminal bifurcation: creates two daughters diverging from the current
+  /// axis by `angle` radians. Returns both daughters via out parameters.
+  void Bifurcate(ExecutionContext* ctx, real_t angle, Random* random,
+                 NeuriteElement** left, NeuriteElement** right);
+
+  // --- mechanics ------------------------------------------------------------
+  Real3 CalculateDisplacement(const InteractionForce* force, Environment* env,
+                              const Param& param,
+                              int* non_zero_forces) override;
+  /// Moving the distal point stretches/rotates the spring axis.
+  void ApplyDisplacement(const Real3& displacement, const Param& param) override;
+
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  NeuriteElement* MakeDaughter(ExecutionContext* ctx, const Real3& direction);
+
+  real_t diameter_ = 1.0;
+  real_t actual_length_ = 1.0;
+  real_t resting_length_ = 1.0;
+  real_t spring_constant_ = 10.0;
+  int branch_order_ = 0;
+  Real3 spring_axis_{0, 0, 1};
+
+  AgentPointer<Agent> mother_;
+  AgentPointer<NeuriteElement> daughter_left_;
+  AgentPointer<NeuriteElement> daughter_right_;
+};
+
+}  // namespace bdm::neuro
+
+#endif  // BDM_NEURO_NEURITE_ELEMENT_H_

@@ -1,0 +1,45 @@
+#include "neuro/neuron_soma.h"
+
+#include "core/execution_context.h"
+#include "io/binary.h"
+
+namespace bdm::neuro {
+
+void NeuronSoma::WriteState(std::ostream& out) const {
+  Cell::WriteState(out);
+  io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(daughters_.size()));
+  for (const auto& daughter : daughters_) {
+    io::WriteScalar(out, daughter.GetUid());
+  }
+}
+
+void NeuronSoma::ReadState(std::istream& in) {
+  Cell::ReadState(in);
+  const uint32_t count = io::ReadScalar<uint32_t>(in);
+  daughters_.clear();
+  daughters_.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    daughters_.emplace_back(io::ReadScalar<AgentUid>(in));
+  }
+}
+
+NeuriteElement* NeuronSoma::ExtendNewNeurite(ExecutionContext* ctx,
+                                             const Real3& direction,
+                                             real_t neurite_diameter) {
+  const Real3 dir = direction.Normalized();
+  auto* neurite = new NeuriteElement();
+  neurite->SetDiameter(neurite_diameter);
+  neurite->SetMother(AgentPointer<Agent>(this));
+  neurite->SetSpringAxis(dir);
+  neurite->SetActualLength(real_t{0.5});
+  neurite->SetRestingLength(real_t{0.5});
+  ctx->AddAgent(neurite);
+  // Attach at the soma surface.
+  neurite->SetPosition(GetPosition() +
+                       dir * (GetDiameter() * real_t{0.5} +
+                              neurite->GetActualLength()));
+  daughters_.emplace_back(neurite->GetUid());
+  return neurite;
+}
+
+}  // namespace bdm::neuro

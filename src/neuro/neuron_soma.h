@@ -1,0 +1,40 @@
+// Neuron soma: a spherical cell body that sprouts neurites.
+#ifndef BDM_NEURO_NEURON_SOMA_H_
+#define BDM_NEURO_NEURON_SOMA_H_
+
+#include <vector>
+
+#include "core/agent_pointer.h"
+#include "core/cell.h"
+#include "neuro/neurite_element.h"
+
+namespace bdm::neuro {
+
+class NeuronSoma : public Cell {
+ public:
+  NeuronSoma() = default;
+  NeuronSoma(const Real3& position, real_t diameter) : Cell(position, diameter) {}
+  NeuronSoma(const NeuronSoma&) = default;
+
+  Agent* NewCopy() const override { return new NeuronSoma(*this); }
+
+  /// Sprouts a new neurite from the soma surface in `direction`. The
+  /// element is committed at the end of the iteration; returns it for
+  /// immediate behavior attachment.
+  NeuriteElement* ExtendNewNeurite(ExecutionContext* ctx, const Real3& direction,
+                                   real_t neurite_diameter = 1.0);
+
+  const std::vector<AgentPointer<NeuriteElement>>& GetDaughters() const {
+    return daughters_;
+  }
+
+  void WriteState(std::ostream& out) const override;
+  void ReadState(std::istream& in) override;
+
+ private:
+  std::vector<AgentPointer<NeuriteElement>> daughters_;
+};
+
+}  // namespace bdm::neuro
+
+#endif  // BDM_NEURO_NEURON_SOMA_H_

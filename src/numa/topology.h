@@ -1,0 +1,68 @@
+// Software NUMA topology.
+//
+// The paper evaluates on servers with up to four NUMA domains and uses
+// libnuma to pin threads and memory. This host has neither multiple NUMA
+// domains nor libnuma, so the topology is *simulated*: the engine is
+// configured with D logical domains and T total threads, threads are
+// assigned to domains round-robin in contiguous groups, and per-domain
+// memory arenas stand in for numa_alloc_onnode. Every algorithm that the
+// paper builds on top of the topology (per-domain agent vectors, two-level
+// work stealing, per-domain allocator pools, Morton load balancing) runs
+// unchanged; only the physical latency asymmetry is absent.
+#ifndef BDM_NUMA_TOPOLOGY_H_
+#define BDM_NUMA_TOPOLOGY_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace bdm {
+
+class Topology {
+ public:
+  /// Creates a topology with `num_threads` worker threads spread evenly over
+  /// `num_domains` logical NUMA domains. Domains receive
+  /// ceil/floor(num_threads / num_domains) threads each; thread ids are
+  /// contiguous within a domain, mirroring how cores are numbered on the
+  /// paper's benchmark machines.
+  Topology(int num_threads, int num_domains) {
+    assert(num_threads >= 1);
+    assert(num_domains >= 1);
+    if (num_domains > num_threads) {
+      num_domains = num_threads;  // a domain without threads is useless
+    }
+    thread_domain_.resize(num_threads);
+    domain_threads_.resize(num_domains);
+    const int base = num_threads / num_domains;
+    const int extra = num_threads % num_domains;
+    int tid = 0;
+    for (int d = 0; d < num_domains; ++d) {
+      const int count = base + (d < extra ? 1 : 0);
+      for (int i = 0; i < count; ++i, ++tid) {
+        thread_domain_[tid] = d;
+        domain_threads_[d].push_back(tid);
+      }
+    }
+  }
+
+  int NumThreads() const { return static_cast<int>(thread_domain_.size()); }
+  int NumDomains() const { return static_cast<int>(domain_threads_.size()); }
+
+  /// Domain that thread `tid` is pinned to.
+  int DomainOfThread(int tid) const { return thread_domain_[tid]; }
+
+  /// Thread ids pinned to domain `d`, in increasing order.
+  const std::vector<int>& ThreadsOfDomain(int d) const { return domain_threads_[d]; }
+
+  int NumThreadsInDomain(int d) const {
+    return static_cast<int>(domain_threads_[d].size());
+  }
+
+ private:
+  std::vector<int> thread_domain_;
+  std::vector<std::vector<int>> domain_threads_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_NUMA_TOPOLOGY_H_

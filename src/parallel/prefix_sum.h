@@ -1,0 +1,118 @@
+// Work-efficient parallel prefix sum (Ladner & Fischer [36] in the paper).
+//
+// The engine needs exclusive and inclusive scans in two hot paths: the
+// parallel agent-removal algorithm (Section 3.2, step 4) and the agent
+// balancing partition (Section 4.2, step F). The implementation is the
+// classic three-phase blocked scan: per-block local scan, scan of block
+// sums, then per-block offset fixup -- 2n work, log-free, and trivially
+// deterministic.
+#ifndef BDM_PARALLEL_PREFIX_SUM_H_
+#define BDM_PARALLEL_PREFIX_SUM_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+/// In-place *inclusive* prefix sum of `data` using the pool. Falls back to a
+/// serial scan below `serial_cutoff` elements, where parallel dispatch costs
+/// more than it saves.
+template <typename T>
+void InclusivePrefixSum(std::vector<T>* data, NumaThreadPool* pool,
+                        int64_t serial_cutoff = 1 << 14) {
+  const int64_t n = static_cast<int64_t>(data->size());
+  if (n == 0) {
+    return;
+  }
+  if (pool == nullptr || n <= serial_cutoff || pool->NumThreads() == 1) {
+    std::partial_sum(data->begin(), data->end(), data->begin());
+    return;
+  }
+  const int num_blocks = pool->NumThreads();
+  const int64_t block = (n + num_blocks - 1) / num_blocks;
+  std::vector<T> block_sums(num_blocks, T{});
+
+  // Phase 1: independent local scans.
+  pool->Run([&](int tid) {
+    const int64_t lo = tid * block;
+    const int64_t hi = std::min<int64_t>(lo + block, n);
+    if (lo >= hi) {
+      return;
+    }
+    T acc{};
+    for (int64_t i = lo; i < hi; ++i) {
+      acc += (*data)[i];
+      (*data)[i] = acc;
+    }
+    block_sums[tid] = acc;
+  });
+
+  // Phase 2: serial scan over the (tiny) block-sum array.
+  std::partial_sum(block_sums.begin(), block_sums.end(), block_sums.begin());
+
+  // Phase 3: add the preceding blocks' totals.
+  pool->Run([&](int tid) {
+    if (tid == 0) {
+      return;
+    }
+    const int64_t lo = tid * block;
+    const int64_t hi = std::min<int64_t>(lo + block, n);
+    const T offset = block_sums[tid - 1];
+    for (int64_t i = lo; i < hi; ++i) {
+      (*data)[i] += offset;
+    }
+  });
+}
+
+/// In-place *exclusive* prefix sum; returns the total of all input elements.
+template <typename T>
+T ExclusivePrefixSum(std::vector<T>* data, NumaThreadPool* pool,
+                     int64_t serial_cutoff = 1 << 14) {
+  if (data->empty()) {
+    return T{};
+  }
+  InclusivePrefixSum(data, pool, serial_cutoff);
+  const T total = data->back();
+  const int64_t n = static_cast<int64_t>(data->size());
+  // Shift right by one. Parallel chunks walk backwards so each value is read
+  // before it is overwritten; the value a chunk needs from its left neighbor
+  // is snapshotted up front because the neighbor overwrites it first.
+  if (pool != nullptr && n > serial_cutoff && pool->NumThreads() > 1) {
+    const int num_chunks = pool->NumThreads();
+    const int64_t chunk = (n + num_chunks - 1) / num_chunks;
+    std::vector<T> boundary(num_chunks, T{});
+    for (int c = 1; c < num_chunks; ++c) {
+      const int64_t lo = c * chunk;
+      if (lo < n) {
+        boundary[c] = (*data)[lo - 1];
+      }
+    }
+    pool->Run([&](int tid) {
+      const int64_t lo = tid * chunk;
+      const int64_t hi = std::min<int64_t>(lo + chunk, n);
+      if (lo >= hi) {
+        return;
+      }
+      for (int64_t i = hi - 1; i > lo; --i) {
+        (*data)[i] = (*data)[i - 1];
+      }
+      (*data)[lo] = boundary[tid];
+    });
+    return total;
+  }
+  T prev{};
+  for (auto& v : *data) {
+    T tmp = v;
+    v = prev;
+    prev = tmp;
+  }
+  return total;
+}
+
+}  // namespace bdm
+
+#endif  // BDM_PARALLEL_PREFIX_SUM_H_

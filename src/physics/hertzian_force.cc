@@ -1,0 +1,37 @@
+#include "physics/hertzian_force.h"
+
+#include <cmath>
+
+#include "core/agent.h"
+
+namespace bdm {
+
+Real3 HertzianForce::Calculate(const Agent* lhs, const Agent* rhs) const {
+  const Real3 comp = lhs->GetPosition() - rhs->GetPosition();
+  const real_t r1 = lhs->GetDiameter() * real_t{0.5};
+  const real_t r2 = rhs->GetDiameter() * real_t{0.5};
+  const real_t sum_radii = r1 + r2;
+  const real_t d2 = comp.SquaredNorm();
+  const real_t decay_length = sum_radii * adhesion_decay_;
+  // The adhesive tail is exponential; cut it off where it drops below 1%.
+  const real_t cutoff = sum_radii + real_t{5} * decay_length;
+  if (d2 >= cutoff * cutoff) {
+    return {0, 0, 0};
+  }
+  const real_t d = std::sqrt(d2);
+  Real3 unit = d > kEpsilon ? comp / d : Real3{1, 0, 0};
+  const real_t delta = sum_radii - d;
+  real_t magnitude;
+  if (delta >= 0) {
+    // Hertz: effective radius sqrt term times delta^{3/2}.
+    const real_t effective_radius = (r1 * r2) / sum_radii;
+    magnitude = stiffness_ * std::sqrt(effective_radius) * delta *
+                std::sqrt(delta);
+  } else {
+    // Exponentially decaying adhesion beyond contact (negative = pull).
+    magnitude = -adhesion_ * std::exp(delta / decay_length);
+  }
+  return unit * magnitude;
+}
+
+}  // namespace bdm

@@ -1,0 +1,37 @@
+// Hertzian contact force.
+//
+// An alternative InteractionForce implementation: classic Hertz contact
+// scaling (F ~ delta^{3/2}) with an exponential adhesion tail, commonly
+// used by tissue-mechanics models (e.g. PhysiCell-style potentials, which
+// the paper lists among related platforms). Demonstrates -- and tests --
+// that the engine's force interface is pluggable, as the static-agent
+// detection's coupling warning in Section 5 presumes ("might have to be
+// adjusted if a different force implementation is used").
+#ifndef BDM_PHYSICS_HERTZIAN_FORCE_H_
+#define BDM_PHYSICS_HERTZIAN_FORCE_H_
+
+#include "physics/interaction_force.h"
+
+namespace bdm {
+
+class HertzianForce : public InteractionForce {
+ public:
+  HertzianForce() = default;
+  HertzianForce(real_t stiffness, real_t adhesion, real_t adhesion_decay)
+      : stiffness_(stiffness),
+        adhesion_(adhesion),
+        adhesion_decay_(adhesion_decay) {}
+
+  Real3 Calculate(const Agent* lhs, const Agent* rhs) const override;
+
+  real_t stiffness() const { return stiffness_; }
+
+ private:
+  real_t stiffness_ = 5.0;        // Hertz prefactor
+  real_t adhesion_ = 0.3;         // peak adhesive pull at contact
+  real_t adhesion_decay_ = 0.2;   // decay length as fraction of radii sum
+};
+
+}  // namespace bdm
+
+#endif  // BDM_PHYSICS_HERTZIAN_FORCE_H_

@@ -1,0 +1,42 @@
+#include "physics/interaction_force.h"
+
+#include <cmath>
+
+#include "core/agent.h"
+
+namespace bdm {
+
+Real3 InteractionForce::Calculate(const Agent* lhs, const Agent* rhs) const {
+  const Real3 comp = lhs->GetPosition() - rhs->GetPosition();
+  const real_t r1 = lhs->GetDiameter() * real_t{0.5};
+  const real_t r2 = rhs->GetDiameter() * real_t{0.5};
+  const real_t sum_radii = r1 + r2;
+  const real_t d2 = comp.SquaredNorm();
+  const real_t outer = sum_radii * (1 + attraction_range_);
+  if (d2 >= outer * outer) {
+    return {0, 0, 0};
+  }
+  const real_t d = std::sqrt(d2);
+  const real_t delta = sum_radii - d;  // overlap (>0) or gap (<0)
+  Real3 unit;
+  if (d > kEpsilon) {
+    unit = comp / d;
+  } else {
+    // Coincident centers: push along a fixed axis; the magnitude dominates
+    // anyway and the situation resolves within one step.
+    unit = {1, 0, 0};
+  }
+  real_t magnitude;
+  if (delta >= 0) {
+    magnitude = repulsion_ * delta;
+  } else {
+    // Adhesion zone: weak pull back towards contact, vanishing at the outer
+    // cutoff to keep the force continuous.
+    const real_t zone = sum_radii * attraction_range_;
+    const real_t fade = 1 + delta / zone;  // 1 at contact, 0 at cutoff
+    magnitude = attraction_ * AdhesionScale(lhs, rhs) * delta * fade;
+  }
+  return unit * magnitude;
+}
+
+}  // namespace bdm

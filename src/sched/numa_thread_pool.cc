@@ -1,0 +1,189 @@
+#include "sched/numa_thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bdm {
+
+namespace {
+thread_local int t_worker_id = -1;
+}  // namespace
+
+NumaThreadPool::NumaThreadPool(const Topology& topology) : topology_(topology) {
+  workers_.reserve(topology_.NumThreads());
+  for (int tid = 0; tid < topology_.NumThreads(); ++tid) {
+    workers_.emplace_back([this, tid] { WorkerLoop(tid); });
+  }
+}
+
+NumaThreadPool::~NumaThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+int NumaThreadPool::CurrentThreadId() { return t_worker_id; }
+
+void NumaThreadPool::WorkerLoop(int tid) {
+  t_worker_id = tid;
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen_generation; });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      job = job_;
+    }
+    (*job)(tid);
+    {
+      std::unique_lock lock(mutex_);
+      if (--pending_ == 0) {
+        cv_done_.notify_one();
+      }
+    }
+  }
+}
+
+void NumaThreadPool::Run(const std::function<void(int)>& job) {
+  assert(t_worker_id == -1 && "Run must not be called from a pool worker");
+  std::unique_lock lock(mutex_);
+  job_ = &job;
+  pending_ = topology_.NumThreads();
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return pending_ == 0; });
+  job_ = nullptr;
+}
+
+void NumaThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                                 const RangeFn& fn) {
+  if (begin >= end) {
+    return;
+  }
+  grain = std::max<int64_t>(grain, 1);
+  // Small trip counts are not worth the dispatch latency.
+  if (end - begin <= grain || NumThreads() == 1) {
+    fn(begin, end, std::max(t_worker_id, 0));
+    return;
+  }
+  std::atomic<int64_t> cursor{begin};
+  Run([&](int tid) {
+    for (;;) {
+      const int64_t lo = cursor.fetch_add(grain, std::memory_order_relaxed);
+      if (lo >= end) {
+        return;
+      }
+      fn(lo, std::min(lo + grain, end), tid);
+    }
+  });
+}
+
+void NumaThreadPool::ForEachBlock(const std::vector<int64_t>& blocks_per_domain,
+                                  bool numa_aware, const BlockFn& fn) {
+  const int num_domains =
+      std::min<int>(topology_.NumDomains(), blocks_per_domain.size());
+  int64_t total_blocks = 0;
+  for (int64_t b : blocks_per_domain) {
+    total_blocks += b;
+  }
+  if (total_blocks == 0) {
+    return;
+  }
+
+  if (!numa_aware) {
+    // Flat dynamic schedule: a single shared counter over all (domain, block)
+    // pairs, irrespective of which domain a thread belongs to.
+    std::vector<int64_t> domain_start(blocks_per_domain.size() + 1, 0);
+    for (size_t d = 0; d < blocks_per_domain.size(); ++d) {
+      domain_start[d + 1] = domain_start[d] + blocks_per_domain[d];
+    }
+    std::atomic<int64_t> cursor{0};
+    Run([&](int tid) {
+      for (;;) {
+        const int64_t flat = cursor.fetch_add(1, std::memory_order_relaxed);
+        if (flat >= total_blocks) {
+          return;
+        }
+        // Find the owning domain (few domains, linear scan is fine).
+        int d = 0;
+        while (flat >= domain_start[d + 1]) {
+          ++d;
+        }
+        fn(d, flat - domain_start[d], tid);
+      }
+    });
+    return;
+  }
+
+  // NUMA-aware: per (domain, thread-slot) contiguous block ranges with
+  // atomic cursors. A thread drains its own range, then steals from sibling
+  // slots in the same domain, then from other domains (paper Fig. 2, steps 4
+  // and 5).
+  const int num_threads = topology_.NumThreads();
+  std::vector<Cursor> cursors(num_threads);
+  std::vector<int> slot_domain(num_threads, 0);
+  for (int d = 0; d < num_domains; ++d) {
+    const auto& threads = topology_.ThreadsOfDomain(d);
+    const int64_t blocks = blocks_per_domain[d];
+    const int n = static_cast<int>(threads.size());
+    const int64_t base = blocks / n;
+    const int64_t extra = blocks % n;
+    int64_t offset = 0;
+    for (int i = 0; i < n; ++i) {
+      const int64_t count = base + (i < extra ? 1 : 0);
+      cursors[threads[i]].next.store(offset, std::memory_order_relaxed);
+      cursors[threads[i]].end = offset + count;
+      slot_domain[threads[i]] = d;
+      offset += count;
+    }
+  }
+  // Handle blocks of domains beyond the topology (shouldn't happen in
+  // practice; assign them to domain-0 threads' ranges via the flat fallback).
+  assert(static_cast<int>(blocks_per_domain.size()) <= topology_.NumDomains());
+
+  Run([&](int tid) {
+    auto drain = [&](int victim) {
+      Cursor& c = cursors[victim];
+      const int d = slot_domain[victim];
+      for (;;) {
+        const int64_t idx = c.next.fetch_add(1, std::memory_order_relaxed);
+        if (idx >= c.end) {
+          return;
+        }
+        fn(d, idx, tid);
+      }
+    };
+    // Level 0: own blocks.
+    drain(tid);
+    // Level 1: steal within the same domain.
+    const int my_domain = topology_.DomainOfThread(tid);
+    if (my_domain < num_domains) {
+      for (int victim : topology_.ThreadsOfDomain(my_domain)) {
+        if (victim != tid) {
+          drain(victim);
+        }
+      }
+    }
+    // Level 2: steal from other domains.
+    for (int d = 0; d < num_domains; ++d) {
+      if (d == my_domain) {
+        continue;
+      }
+      for (int victim : topology_.ThreadsOfDomain(d)) {
+        drain(victim);
+      }
+    }
+  });
+}
+
+}  // namespace bdm

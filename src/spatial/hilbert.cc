@@ -1,0 +1,97 @@
+#include "spatial/hilbert.h"
+
+namespace bdm {
+
+// Skilling, "Programming the Hilbert curve", AIP Conf. Proc. 707 (2004).
+// The "transpose" representation stores the Hilbert index bit-interleaved
+// across the three coordinate words; the functions below convert between
+// axes coordinates and that representation, then (un)interleave.
+
+namespace {
+
+/// Converts Hilbert transpose -> axes coordinates, in place.
+void TransposeToAxes(uint32_t* v, int bits) {
+  const uint32_t n = 3;
+  uint32_t t = v[n - 1] >> 1;
+  for (uint32_t i = n - 1; i > 0; --i) {
+    v[i] ^= v[i - 1];
+  }
+  v[0] ^= t;
+  // Undo excess work.
+  for (uint32_t q = 2; q != (1u << bits); q <<= 1) {
+    const uint32_t p = q - 1;
+    for (int i = n - 1; i >= 0; --i) {
+      if (v[i] & q) {
+        v[0] ^= p;  // invert
+      } else {
+        t = (v[0] ^ v[i]) & p;  // exchange
+        v[0] ^= t;
+        v[i] ^= t;
+      }
+    }
+  }
+}
+
+/// Converts axes coordinates -> Hilbert transpose, in place.
+void AxesToTranspose(uint32_t* v, int bits) {
+  const uint32_t n = 3;
+  uint32_t t;
+  for (uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    const uint32_t p = q - 1;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (v[i] & q) {
+        v[0] ^= p;  // invert
+      } else {
+        t = (v[0] ^ v[i]) & p;  // exchange
+        v[0] ^= t;
+        v[i] ^= t;
+      }
+    }
+  }
+  // Gray encode.
+  for (uint32_t i = 1; i < n; ++i) {
+    v[i] ^= v[i - 1];
+  }
+  t = 0;
+  for (uint32_t q = 1u << (bits - 1); q > 1; q >>= 1) {
+    if (v[n - 1] & q) {
+      t ^= q - 1;
+    }
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    v[i] ^= t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode3D(uint32_t x, uint32_t y, uint32_t z, int bits) {
+  uint32_t v[3] = {x, y, z};
+  AxesToTranspose(v, bits);
+  // Interleave the transpose words, MSB first: bit b of v[i] becomes bit
+  // (3*b + (2 - i)) of the index.
+  uint64_t index = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      index = (index << 1) | ((v[i] >> b) & 1);
+    }
+  }
+  return index;
+}
+
+void HilbertDecode3D(uint64_t index, int bits, uint32_t* x, uint32_t* y,
+                     uint32_t* z) {
+  uint32_t v[3] = {0, 0, 0};
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int i = 0; i < 3; ++i) {
+      v[i] = (v[i] << 1) |
+             ((index >> (static_cast<uint64_t>(b) * 3 + (2 - i))) & 1);
+    }
+  }
+  TransposeToAxes(v, bits);
+  *x = v[0];
+  *y = v[1];
+  *z = v[2];
+}
+
+}  // namespace bdm

@@ -1,0 +1,26 @@
+// 3D Hilbert curve index (Skilling's transpose algorithm).
+//
+// Paper Section 4.2: "We compared the performance of the Morton order with
+// the Hilbert curve ... and observed a negligible performance improvement
+// of 0.54% from using the Hilbert curve. Higher costs to decode the Hilbert
+// curve offset small gains." The engine therefore defaults to Morton; this
+// implementation exists to reproduce that comparison (bench_ablation) and
+// as an alternative ordering for the load-balance operation.
+#ifndef BDM_SPATIAL_HILBERT_H_
+#define BDM_SPATIAL_HILBERT_H_
+
+#include <cstdint>
+
+namespace bdm {
+
+/// Hilbert index of the cell (x, y, z) inside a 2^bits-sided cube.
+/// `bits` <= 21 so the index fits in 63 bits.
+uint64_t HilbertEncode3D(uint32_t x, uint32_t y, uint32_t z, int bits);
+
+/// Inverse of HilbertEncode3D.
+void HilbertDecode3D(uint64_t index, int bits, uint32_t* x, uint32_t* y,
+                     uint32_t* z);
+
+}  // namespace bdm
+
+#endif  // BDM_SPATIAL_HILBERT_H_

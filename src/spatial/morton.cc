@@ -1,0 +1,122 @@
+#include "spatial/morton.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace bdm {
+
+namespace {
+
+// Spreads the lowest 21 bits of v three positions apart (classic magic-bit
+// Morton spreading).
+uint64_t SpreadBits(uint64_t v) {
+  v &= 0x1FFFFF;
+  v = (v | (v << 32)) & 0x1F00000000FFFFULL;
+  v = (v | (v << 16)) & 0x1F0000FF0000FFULL;
+  v = (v | (v << 8)) & 0x100F00F00F00F00FULL;
+  v = (v | (v << 4)) & 0x10C30C30C30C30C3ULL;
+  v = (v | (v << 2)) & 0x1249249249249249ULL;
+  return v;
+}
+
+uint64_t CompactBits(uint64_t v) {
+  v &= 0x1249249249249249ULL;
+  v = (v ^ (v >> 2)) & 0x10C30C30C30C30C3ULL;
+  v = (v ^ (v >> 4)) & 0x100F00F00F00F00FULL;
+  v = (v ^ (v >> 8)) & 0x1F0000FF0000FFULL;
+  v = (v ^ (v >> 16)) & 0x1F00000000FFFFULL;
+  v = (v ^ (v >> 32)) & 0x1FFFFF;
+  return v;
+}
+
+uint64_t NextPow2(uint64_t v) {
+  uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+/// DFS state of the implicit octree walk (paper Figure 3 D).
+struct GapWalk {
+  uint64_t nx, ny, nz;
+  uint64_t box_counter = 0;
+  uint64_t offset = 0;
+  bool found_gap = true;  // force an initial entry at rank 0
+  std::vector<MortonGap>* out;
+
+  // Visits the cube [x0, x0+size) x [y0, ...) x [z0, ...), children in
+  // Morton order.
+  void Visit(uint64_t x0, uint64_t y0, uint64_t z0, uint64_t size) {
+    const uint64_t leaves = size * size * size;
+    if (x0 >= nx || y0 >= ny || z0 >= nz) {
+      // Empty node/leaf: entirely outside the simulation space.
+      offset += leaves;
+      found_gap = true;
+      return;
+    }
+    if (x0 + size <= nx && y0 + size <= ny && z0 + size <= nz) {
+      // Complete node (perfect subtree) or in-space leaf.
+      if (found_gap) {
+        out->push_back({box_counter, offset});
+        found_gap = false;
+      }
+      box_counter += leaves;
+      return;
+    }
+    // Partial overlap: descend. size > 1 is guaranteed here because a
+    // single leaf is always either inside or outside.
+    assert(size > 1);
+    const uint64_t half = size / 2;
+    for (int o = 0; o < 8; ++o) {
+      const uint64_t cx = x0 + (o & 1 ? half : 0);
+      const uint64_t cy = y0 + (o & 2 ? half : 0);
+      const uint64_t cz = z0 + (o & 4 ? half : 0);
+      Visit(cx, cy, cz, half);
+    }
+  }
+};
+
+}  // namespace
+
+uint64_t MortonEncode3D(uint32_t x, uint32_t y, uint32_t z) {
+  return SpreadBits(x) | (SpreadBits(y) << 1) | (SpreadBits(z) << 2);
+}
+
+void MortonDecode3D(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z) {
+  *x = static_cast<uint32_t>(CompactBits(code));
+  *y = static_cast<uint32_t>(CompactBits(code >> 1));
+  *z = static_cast<uint32_t>(CompactBits(code >> 2));
+}
+
+std::vector<MortonGap> CollectMortonGaps(uint64_t nx, uint64_t ny, uint64_t nz) {
+  std::vector<MortonGap> gaps;
+  if (nx == 0 || ny == 0 || nz == 0) {
+    return gaps;
+  }
+  const uint64_t size = NextPow2(std::max({nx, ny, nz}));
+  GapWalk walk{nx, ny, nz, 0, 0, true, &gaps};
+  walk.Visit(0, 0, 0, size);
+  assert(walk.box_counter == nx * ny * nz);
+  return gaps;
+}
+
+void MortonIterator::Seek(uint64_t k) {
+  rank_ = k;
+  auto it = std::upper_bound(
+      gaps_->begin(), gaps_->end(), k,
+      [](uint64_t value, const MortonGap& gap) { return value < gap.box_counter; });
+  cursor_ = static_cast<size_t>(it - gaps_->begin()) - 1;
+}
+
+uint64_t MortonIterator::CodeOfRank(uint64_t k) const {
+  assert(k < num_boxes_);
+  // Last gap entry with box_counter <= k.
+  auto it = std::upper_bound(
+      gaps_->begin(), gaps_->end(), k,
+      [](uint64_t value, const MortonGap& gap) { return value < gap.box_counter; });
+  --it;
+  return k + it->offset;
+}
+
+}  // namespace bdm

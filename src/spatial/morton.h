@@ -1,0 +1,75 @@
+// Morton (Z-order) space-filling curve utilities (paper Section 4.2).
+//
+// The engine sorts agents by the Morton code of their grid box to make
+// spatial locality coincide with memory locality. The Morton order is only
+// contiguous for power-of-two cubic grids; for an arbitrary nx*ny*nz grid
+// the paper derives the sorted sequence of *in-space* boxes in linear time
+// by a depth-first walk of the implicit octree: runs of out-of-space leaves
+// become entries of an `offsets` array, and the Morton code of the k-th
+// in-space box is then simply k plus the offset of its run. The octree is
+// never materialized -- only the DFS path exists, using O(log #boxes) space.
+#ifndef BDM_SPATIAL_MORTON_H_
+#define BDM_SPATIAL_MORTON_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bdm {
+
+/// Interleaves the lowest 21 bits of x, y, z; bit j of x lands at code bit
+/// 3j, y at 3j+1, z at 3j+2.
+uint64_t MortonEncode3D(uint32_t x, uint32_t y, uint32_t z);
+
+/// Inverse of MortonEncode3D.
+void MortonDecode3D(uint64_t code, uint32_t* x, uint32_t* y, uint32_t* z);
+
+/// One gap record: all in-space boxes with rank >= box_counter (up to the
+/// next record) have Morton code rank + offset.
+struct MortonGap {
+  uint64_t box_counter;
+  uint64_t offset;
+};
+
+/// Computes the gap table for an nx*ny*nz grid embedded in its enclosing
+/// power-of-two cube (paper Figure 3 D). Runs in time proportional to the
+/// number of gap runs (<= surface complexity of the grid), not the cube
+/// volume.
+std::vector<MortonGap> CollectMortonGaps(uint64_t nx, uint64_t ny, uint64_t nz);
+
+/// Streams Morton codes of all in-space boxes in increasing Morton order:
+/// the k-th call to Next() returns the code of the rank-k box (paper Figure
+/// 3 E, "determined in linear time by iterating over all indices and adding
+/// the corresponding offset").
+class MortonIterator {
+ public:
+  MortonIterator(const std::vector<MortonGap>* gaps, uint64_t num_boxes)
+      : gaps_(gaps), num_boxes_(num_boxes) {}
+
+  bool HasNext() const { return rank_ < num_boxes_; }
+
+  uint64_t Next() {
+    while (cursor_ + 1 < gaps_->size() && (*gaps_)[cursor_ + 1].box_counter <= rank_) {
+      ++cursor_;
+    }
+    return rank_++ + (*gaps_)[cursor_].offset;
+  }
+
+  /// Random access: Morton code of the rank-k in-space box (binary search;
+  /// used to start a worker in the middle of the sequence).
+  uint64_t CodeOfRank(uint64_t k) const;
+
+  /// Positions the iterator so the next Next() call returns the code of the
+  /// rank-k box. O(log #gaps).
+  void Seek(uint64_t k);
+
+ private:
+  const std::vector<MortonGap>* gaps_;
+  uint64_t num_boxes_;
+  uint64_t rank_ = 0;
+  size_t cursor_ = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_SPATIAL_MORTON_H_

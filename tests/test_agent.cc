@@ -1,0 +1,215 @@
+#include "core/agent.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/execution_context.h"
+
+namespace bdm {
+namespace {
+
+/// Counts executions; used to observe behavior scheduling.
+class CountingBehavior : public Behavior {
+ public:
+  explicit CountingBehavior(int* counter, bool copy_to_new = true)
+      : counter_(counter), copy_to_new_(copy_to_new) {}
+  void Run(Agent*, ExecutionContext*) override { ++(*counter_); }
+  Behavior* NewCopy() const override { return new CountingBehavior(*this); }
+  bool CopyToNewAgent() const override { return copy_to_new_; }
+
+ private:
+  int* counter_;
+  bool copy_to_new_;
+};
+
+TEST(AgentTest, NewAgentIsNotStaticAndPropagates) {
+  Cell cell(5);
+  EXPECT_FALSE(cell.IsStatic());
+  EXPECT_FALSE(cell.IsStaticNext());
+  EXPECT_TRUE(cell.PropagatesStaticness());
+}
+
+TEST(AgentTest, UpdateStaticnessPromotesFlags) {
+  Cell cell(5);
+  cell.UpdateStaticness();  // consumes the initial non-static state
+  EXPECT_FALSE(cell.IsStatic());
+  EXPECT_TRUE(cell.IsStaticNext());
+  EXPECT_FALSE(cell.PropagatesStaticness());
+  cell.UpdateStaticness();  // nothing happened since: becomes static
+  EXPECT_TRUE(cell.IsStatic());
+}
+
+TEST(AgentTest, SetPositionResetsStaticnessAndPropagates) {
+  Cell cell(5);
+  cell.UpdateStaticness();
+  cell.UpdateStaticness();
+  ASSERT_TRUE(cell.IsStatic());
+  cell.SetPosition({1, 2, 3});
+  EXPECT_FALSE(cell.IsStaticNext());
+  EXPECT_TRUE(cell.PropagatesStaticness());
+  cell.UpdateStaticness();
+  EXPECT_FALSE(cell.IsStatic());
+}
+
+TEST(AgentTest, GrowingWakesNeighborsShrinkingDoesNot) {
+  Cell cell(10);
+  cell.UpdateStaticness();
+  EXPECT_FALSE(cell.PropagatesStaticness());
+  cell.SetDiameter(9);  // shrink: allowed while static (Section 5)
+  EXPECT_TRUE(cell.IsStaticNext());
+  EXPECT_FALSE(cell.PropagatesStaticness());
+  cell.SetDiameter(11);  // growth: wakes self and neighbors
+  EXPECT_FALSE(cell.IsStaticNext());
+  EXPECT_TRUE(cell.PropagatesStaticness());
+}
+
+TEST(AgentTest, WakeUpIsSticky) {
+  Cell cell(5);
+  cell.UpdateStaticness();
+  EXPECT_TRUE(cell.IsStaticNext());
+  cell.WakeUp();
+  EXPECT_FALSE(cell.IsStaticNext());
+}
+
+TEST(AgentTest, BehaviorsRunInOrder) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell cell(5);
+  int a = 0, b = 0;
+  cell.AddBehavior(new CountingBehavior(&a));
+  cell.AddBehavior(new CountingBehavior(&b));
+  cell.RunBehaviors(&ctx);
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+TEST(AgentTest, RemoveBehavior) {
+  Cell cell(5);
+  int a = 0;
+  auto* behavior = new CountingBehavior(&a);
+  cell.AddBehavior(behavior);
+  EXPECT_EQ(cell.GetAllBehaviors().size(), 1u);
+  cell.RemoveBehavior(behavior);
+  EXPECT_TRUE(cell.GetAllBehaviors().empty());
+}
+
+TEST(AgentTest, CopyBehaviorsToHonorsCopyFlag) {
+  Cell mother(5);
+  int a = 0, b = 0;
+  mother.AddBehavior(new CountingBehavior(&a, /*copy_to_new=*/true));
+  mother.AddBehavior(new CountingBehavior(&b, /*copy_to_new=*/false));
+  Cell daughter(5);
+  mother.CopyBehaviorsTo(&daughter);
+  EXPECT_EQ(daughter.GetAllBehaviors().size(), 1u);
+}
+
+TEST(AgentTest, CopyConstructorDeepCopiesBehaviors) {
+  Cell original(5);
+  int count = 0;
+  original.AddBehavior(new CountingBehavior(&count));
+  Cell copy(original);
+  EXPECT_EQ(copy.GetAllBehaviors().size(), 1u);
+  EXPECT_NE(copy.GetAllBehaviors()[0], original.GetAllBehaviors()[0]);
+}
+
+TEST(AgentTest, CopyPreservesUidPositionAndStaticness) {
+  Cell original({1, 2, 3}, 7);
+  original.SetUid(AgentUid(42, 3));
+  original.UpdateStaticness();
+  original.UpdateStaticness();
+  Cell copy(original);
+  EXPECT_EQ(copy.GetUid(), AgentUid(42, 3));
+  EXPECT_EQ(copy.GetPosition(), (Real3{1, 2, 3}));
+  EXPECT_EQ(copy.IsStatic(), original.IsStatic());
+}
+
+// --- Cell specifics ----------------------------------------------------------
+
+TEST(CellTest, VolumeMatchesSphereFormula) {
+  Cell cell(10);
+  EXPECT_NEAR(cell.GetVolume(), 4.0 / 3.0 * 3.14159265358979 * 125, 1e-6);
+}
+
+TEST(CellTest, ChangeVolumeAdjustsDiameter) {
+  Cell cell(10);
+  const real_t v0 = cell.GetVolume();
+  cell.ChangeVolume(v0);  // double the volume
+  EXPECT_NEAR(cell.GetVolume(), 2 * v0, 1e-6);
+  EXPECT_NEAR(cell.GetDiameter(), 10 * std::cbrt(2.0), 1e-9);
+}
+
+TEST(CellTest, ChangeVolumeNeverGoesNegative) {
+  Cell cell(10);
+  cell.ChangeVolume(-10 * cell.GetVolume());
+  EXPECT_GT(cell.GetDiameter(), 0);
+}
+
+TEST(CellTest, DivideConservesVolume) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell mother({0, 0, 0}, 12);
+  mother.SetUid(gen.Generate());
+  const real_t total_before = mother.GetVolume();
+  Cell* daughter = mother.Divide(&ctx, {0, 0, 1});
+  ASSERT_NE(daughter, nullptr);
+  EXPECT_NEAR(mother.GetVolume() + daughter->GetVolume(), total_before,
+              total_before * 1e-9);
+  // The engine owns the daughter via the context buffer; cleanup for the test.
+  EXPECT_EQ(ctx.new_agents().size(), 1u);
+  delete ctx.new_agents()[0];
+  ctx.ClearBuffers();
+}
+
+TEST(CellTest, DivideSeparatesAlongAxis) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell mother({0, 0, 0}, 12);
+  mother.SetUid(gen.Generate());
+  Cell* daughter = mother.Divide(&ctx, {0, 0, 1});
+  EXPECT_GT(daughter->GetPosition().z, mother.GetPosition().z);
+  delete ctx.new_agents()[0];
+  ctx.ClearBuffers();
+}
+
+TEST(CellTest, DivideAssignsFreshUid) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell mother({0, 0, 0}, 12);
+  mother.SetUid(gen.Generate());
+  Cell* daughter = mother.Divide(&ctx, {1, 0, 0});
+  EXPECT_TRUE(daughter->GetUid().IsValid());
+  EXPECT_FALSE(daughter->GetUid() == mother.GetUid());
+  delete ctx.new_agents()[0];
+  ctx.ClearBuffers();
+}
+
+TEST(CellTest, DivideCopiesTypeAndBehaviors) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell mother({0, 0, 0}, 12);
+  mother.SetUid(gen.Generate());
+  mother.SetCellType(3);
+  int count = 0;
+  mother.AddBehavior(new CountingBehavior(&count));
+  Cell* daughter = mother.Divide(&ctx, {1, 0, 0});
+  EXPECT_EQ(daughter->GetCellType(), 3);
+  EXPECT_EQ(daughter->GetAllBehaviors().size(), 1u);
+  delete ctx.new_agents()[0];
+  ctx.ClearBuffers();
+}
+
+TEST(CellTest, VolumeRatioControlsDaughterShare) {
+  AgentUidGenerator gen;
+  ExecutionContext ctx(0, 1, &gen);
+  Cell mother({0, 0, 0}, 12);
+  mother.SetUid(gen.Generate());
+  const real_t total = mother.GetVolume();
+  Cell* daughter = mother.Divide(&ctx, {1, 0, 0}, 0.25);
+  EXPECT_NEAR(daughter->GetVolume(), total * 0.25, total * 1e-9);
+  EXPECT_NEAR(mother.GetVolume(), total * 0.75, total * 1e-9);
+  delete ctx.new_agents()[0];
+  ctx.ClearBuffers();
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,110 @@
+#include "core/agent_uid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+namespace bdm {
+namespace {
+
+TEST(AgentUidTest, DefaultIsInvalid) {
+  AgentUid uid;
+  EXPECT_FALSE(uid.IsValid());
+}
+
+TEST(AgentUidTest, ConstructedIsValid) {
+  AgentUid uid(5);
+  EXPECT_TRUE(uid.IsValid());
+  EXPECT_EQ(uid.index(), 5u);
+  EXPECT_EQ(uid.reused(), 0u);
+}
+
+TEST(AgentUidTest, EqualityRequiresBothFields) {
+  EXPECT_EQ(AgentUid(1, 0), AgentUid(1, 0));
+  EXPECT_FALSE(AgentUid(1, 0) == AgentUid(1, 1));
+  EXPECT_FALSE(AgentUid(1, 0) == AgentUid(2, 0));
+}
+
+TEST(AgentUidTest, OrderingByIndexThenReused) {
+  EXPECT_LT(AgentUid(1, 5), AgentUid(2, 0));
+  EXPECT_LT(AgentUid(1, 0), AgentUid(1, 1));
+}
+
+TEST(AgentUidTest, HashDistinguishesReuse) {
+  std::hash<AgentUid> h;
+  EXPECT_NE(h(AgentUid(1, 0)), h(AgentUid(1, 1)));
+}
+
+TEST(AgentUidGeneratorTest, MonotonicWithoutRecycling) {
+  AgentUidGenerator gen;
+  for (uint32_t i = 0; i < 100; ++i) {
+    const AgentUid uid = gen.Generate();
+    EXPECT_EQ(uid.index(), i);
+    EXPECT_EQ(uid.reused(), 0u);
+  }
+  EXPECT_EQ(gen.HighWatermark(), 100u);
+}
+
+TEST(AgentUidGeneratorTest, RecycledSlotBumpsReusedCounter) {
+  AgentUidGenerator gen;
+  const AgentUid first = gen.Generate();
+  gen.Recycle(first);
+  const AgentUid second = gen.Generate();
+  EXPECT_EQ(second.index(), first.index());
+  EXPECT_EQ(second.reused(), first.reused() + 1);
+  // The watermark does not grow when recycling served the request.
+  EXPECT_EQ(gen.HighWatermark(), 1u);
+}
+
+TEST(AgentUidGeneratorTest, RecycledUidDiffersFromOriginal) {
+  AgentUidGenerator gen;
+  const AgentUid first = gen.Generate();
+  gen.Recycle(first);
+  EXPECT_FALSE(gen.Generate() == first);
+}
+
+TEST(AgentUidGeneratorTest, ConcurrentGenerationYieldsUniqueUids) {
+  AgentUidGenerator gen;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::vector<AgentUid>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      results[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        results[t].push_back(gen.Generate());
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  std::set<AgentUid> all;
+  for (const auto& batch : results) {
+    all.insert(batch.begin(), batch.end());
+  }
+  EXPECT_EQ(all.size(), static_cast<size_t>(kThreads * kPerThread));
+}
+
+TEST(AgentUidGeneratorTest, MixedGenerateRecycleNeverDuplicatesLiveUids) {
+  AgentUidGenerator gen;
+  std::set<AgentUid> live;
+  std::vector<AgentUid> pool;
+  for (int round = 0; round < 1000; ++round) {
+    const AgentUid uid = gen.Generate();
+    ASSERT_TRUE(live.insert(uid).second) << "duplicate live uid " << uid;
+    pool.push_back(uid);
+    if (round % 3 == 0 && !pool.empty()) {
+      const AgentUid victim = pool.back();
+      pool.pop_back();
+      live.erase(victim);
+      gen.Recycle(victim);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdm

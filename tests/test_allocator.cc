@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "memory/free_list.h"
+#include "memory/memory_manager.h"
+#include "memory/numa_pool_allocator.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+namespace {
+
+// --- FreeList ---------------------------------------------------------------
+
+TEST(FreeListTest, PushPopSingle) {
+  FreeList list;
+  FreeNode node;
+  EXPECT_TRUE(list.Empty());
+  list.Push(&node);
+  EXPECT_EQ(list.Size(), 1u);
+  EXPECT_EQ(list.Pop(), &node);
+  EXPECT_TRUE(list.Empty());
+}
+
+TEST(FreeListTest, PopEmptyReturnsNull) {
+  FreeList list;
+  EXPECT_EQ(list.Pop(), nullptr);
+  EXPECT_EQ(list.PopBatch(), nullptr);
+}
+
+TEST(FreeListTest, LifoOrderWithinOpenSegment) {
+  FreeList list;
+  FreeNode a, b, c;
+  list.Push(&a);
+  list.Push(&b);
+  list.Push(&c);
+  EXPECT_EQ(list.Pop(), &c);
+  EXPECT_EQ(list.Pop(), &b);
+  EXPECT_EQ(list.Pop(), &a);
+}
+
+TEST(FreeListTest, BatchFormsAtThreshold) {
+  FreeList list;
+  std::vector<FreeNode> nodes(kFreeListBatchSize + 5);
+  for (auto& n : nodes) {
+    list.Push(&n);
+  }
+  EXPECT_EQ(list.NumFullBatches(), 1u);
+  EXPECT_EQ(list.Size(), nodes.size());
+}
+
+TEST(FreeListTest, BatchMigrationRoundTrip) {
+  FreeList source, target;
+  std::vector<FreeNode> nodes(kFreeListBatchSize);
+  for (auto& n : nodes) {
+    source.Push(&n);
+  }
+  FreeNode* batch = source.PopBatch();
+  ASSERT_NE(batch, nullptr);
+  EXPECT_TRUE(source.Empty());
+  target.PushBatch(batch);
+  EXPECT_EQ(target.Size(), kFreeListBatchSize);
+  // All original nodes are retrievable from the target.
+  std::set<FreeNode*> seen;
+  while (FreeNode* n = target.Pop()) {
+    seen.insert(n);
+  }
+  EXPECT_EQ(seen.size(), kFreeListBatchSize);
+}
+
+TEST(FreeListTest, SizeAccounting) {
+  FreeList list;
+  std::vector<FreeNode> nodes(3 * kFreeListBatchSize + 7);
+  for (auto& n : nodes) {
+    list.Push(&n);
+  }
+  EXPECT_EQ(list.Size(), nodes.size());
+  EXPECT_EQ(list.NumFullBatches(), 3u);
+  for (size_t i = 0; i < 10; ++i) {
+    list.Pop();
+  }
+  EXPECT_EQ(list.Size(), nodes.size() - 10);
+}
+
+// --- NumaPoolAllocator -------------------------------------------------------
+
+NumaPoolAllocator::Config SmallConfig() {
+  NumaPoolAllocator::Config config;
+  config.aligned_pages_shift = 2;  // 16 KiB segments: exercise edges quickly
+  config.initial_block_size = 1 << 15;
+  config.growth_rate = 2.0;
+  return config;
+}
+
+TEST(NumaPoolAllocatorTest, AllocationsAreDistinctAndWritable) {
+  NumaPoolAllocator pool(64, 0, 2, SmallConfig());
+  std::set<void*> seen;
+  for (int i = 0; i < 1000; ++i) {
+    void* p = pool.New(0);
+    ASSERT_NE(p, nullptr);
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate allocation";
+    std::memset(p, 0xAB, 64);
+  }
+}
+
+TEST(NumaPoolAllocatorTest, FreedMemoryIsReused) {
+  NumaPoolAllocator pool(32, 0, 1, SmallConfig());
+  void* p = pool.New(0);
+  pool.Delete(p, 0);
+  // LIFO reuse from the thread-local list.
+  EXPECT_EQ(pool.New(0), p);
+}
+
+TEST(NumaPoolAllocatorTest, SegmentHeaderResolvesOwner) {
+  NumaPoolAllocator::Config config = SmallConfig();
+  NumaPoolAllocator pool(48, 0, 1, config);
+  const size_t segment_size = kPageSize << config.aligned_pages_shift;
+  for (int i = 0; i < 2000; ++i) {
+    void* p = pool.New(0);
+    ASSERT_EQ(NumaPoolAllocator::FromPointer(p, segment_size), &pool);
+  }
+}
+
+TEST(NumaPoolAllocatorTest, ElementsNeverCrossSegmentBoundary) {
+  NumaPoolAllocator::Config config = SmallConfig();
+  const size_t element_size = 112;
+  NumaPoolAllocator pool(element_size, 0, 1, config);
+  const size_t segment_size = kPageSize << config.aligned_pages_shift;
+  for (int i = 0; i < 5000; ++i) {
+    auto addr = reinterpret_cast<uintptr_t>(pool.New(0));
+    const uintptr_t offset_in_segment = addr & (segment_size - 1);
+    EXPECT_GE(offset_in_segment, NumaPoolAllocator::kSegmentHeaderSize);
+    EXPECT_LE(offset_in_segment + element_size, segment_size);
+  }
+}
+
+TEST(NumaPoolAllocatorTest, ReservedMemoryGrowsGeometrically) {
+  NumaPoolAllocator::Config config = SmallConfig();
+  NumaPoolAllocator pool(256, 0, 1, config);
+  size_t last = 0;
+  std::vector<size_t> sizes;
+  for (int i = 0; i < 3000; ++i) {
+    pool.New(0);
+    if (pool.TotalReserved() != last) {
+      last = pool.TotalReserved();
+      sizes.push_back(last);
+    }
+  }
+  ASSERT_GE(sizes.size(), 2u);
+  // Each block at least doubles the cumulative reservation's increment.
+  for (size_t i = 1; i < sizes.size(); ++i) {
+    EXPECT_GT(sizes[i] - sizes[i - 1], (i > 1 ? sizes[i - 1] - sizes[i - 2] : 0u));
+  }
+}
+
+TEST(NumaPoolAllocatorTest, CrossThreadFreeMigratesThroughCentralList) {
+  NumaPoolAllocator pool(64, 0, 3, SmallConfig());
+  // Thread slot 1 allocates many, slot 2 frees them all; slot 1 must still
+  // be able to allocate (nodes flow via the central list).
+  std::vector<void*> ptrs;
+  for (size_t i = 0; i < 10 * kFreeListBatchSize; ++i) {
+    ptrs.push_back(pool.New(1));
+  }
+  for (void* p : ptrs) {
+    pool.Delete(p, 2);
+  }
+  const size_t reserved_before = pool.TotalReserved();
+  // Re-allocate the same volume: no (or little) new memory should be needed.
+  for (size_t i = 0; i < 10 * kFreeListBatchSize; ++i) {
+    pool.New(1);
+  }
+  EXPECT_EQ(pool.TotalReserved(), reserved_before);
+}
+
+TEST(NumaPoolAllocatorTest, MaxElementSizeRespected) {
+  NumaPoolAllocator::Config config = SmallConfig();
+  const size_t max = NumaPoolAllocator::MaxElementSize(config);
+  NumaPoolAllocator pool(max, 0, 1, config);
+  void* p = pool.New(0);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0x5A, max);
+}
+
+TEST(NumaPoolAllocatorTest, TinyElementsRoundedToNodeSize) {
+  NumaPoolAllocator pool(1, 0, 1, SmallConfig());
+  EXPECT_GE(pool.element_size(), sizeof(FreeNode));
+  void* a = pool.New(0);
+  void* b = pool.New(0);
+  EXPECT_NE(a, b);
+}
+
+// --- MemoryManager -----------------------------------------------------------
+
+TEST(MemoryManagerTest, NewDeleteRoundTrip) {
+  MemoryManager mm(Topology(2, 2));
+  void* p = mm.New(40);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 40);
+  mm.Delete(p);
+}
+
+TEST(MemoryManagerTest, SizeClassesSeparateAllocations) {
+  MemoryManager mm(Topology(1, 1));
+  void* a = mm.New(16);
+  void* b = mm.New(160);
+  const size_t segment = mm.segment_size();
+  EXPECT_NE(NumaPoolAllocator::FromPointer(a, segment),
+            NumaPoolAllocator::FromPointer(b, segment));
+  mm.Delete(a);
+  mm.Delete(b);
+}
+
+TEST(MemoryManagerTest, SameSizeClassSharesPool) {
+  MemoryManager mm(Topology(1, 1));
+  void* a = mm.New(17);
+  void* b = mm.New(30);  // both round to the 32-byte class
+  EXPECT_EQ(NumaPoolAllocator::FromPointer(a, mm.segment_size()),
+            NumaPoolAllocator::FromPointer(b, mm.segment_size()));
+  mm.Delete(a);
+  mm.Delete(b);
+}
+
+TEST(MemoryManagerTest, LargeObjectFallback) {
+  MemoryManager mm(Topology(1, 1));
+  const size_t huge = 8 * mm.segment_size();
+  void* p = mm.New(huge);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 0xCD, huge);
+  EXPECT_EQ(NumaPoolAllocator::FromPointer(p, mm.segment_size()), nullptr);
+  mm.Delete(p);
+}
+
+TEST(MemoryManagerTest, TotalReservedTracksPools) {
+  MemoryManager mm(Topology(1, 1));
+  EXPECT_EQ(mm.TotalReserved(), 0u);
+  void* p = mm.New(64);
+  EXPECT_GT(mm.TotalReserved(), 0u);
+  mm.Delete(p);
+}
+
+TEST(MemoryManagerTest, ParallelAllocFreeStress) {
+  Topology topo(4, 2);
+  MemoryManager mm(topo);
+  NumaThreadPool pool(topo);
+  std::atomic<int> failures{0};
+  pool.Run([&](int) {
+    std::vector<void*> mine;
+    for (int round = 0; round < 20; ++round) {
+      for (int i = 0; i < 200; ++i) {
+        void* p = mm.New(48);
+        if (p == nullptr) {
+          failures.fetch_add(1);
+          continue;
+        }
+        std::memset(p, round, 48);
+        mine.push_back(p);
+      }
+      // Free half, keep half.
+      for (size_t i = 0; i < mine.size(); i += 2) {
+        mm.Delete(mine[i]);
+      }
+      std::vector<void*> kept;
+      for (size_t i = 1; i < mine.size(); i += 2) {
+        kept.push_back(mine[i]);
+      }
+      mine = std::move(kept);
+    }
+    for (void* p : mine) {
+      mm.Delete(p);
+    }
+  });
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(MemoryManagerTest, GlobalPointerLifecycle) {
+  EXPECT_EQ(MemoryManager::GetGlobal(), nullptr);
+  {
+    MemoryManager mm(Topology(1, 1));
+    MemoryManager::SetGlobal(&mm);
+    EXPECT_EQ(MemoryManager::GetGlobal(), &mm);
+  }
+  // Destructor clears the global registration.
+  EXPECT_EQ(MemoryManager::GetGlobal(), nullptr);
+}
+
+class AllocatorSizeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(AllocatorSizeSweep, RoundTripManySizes) {
+  MemoryManager mm(Topology(2, 1));
+  const size_t size = GetParam();
+  std::vector<void*> ptrs;
+  for (int i = 0; i < 200; ++i) {
+    void* p = mm.New(size);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0x77, size);
+    ptrs.push_back(p);
+  }
+  std::set<void*> unique(ptrs.begin(), ptrs.end());
+  EXPECT_EQ(unique.size(), ptrs.size());
+  for (void* p : ptrs) {
+    mm.Delete(p);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllocatorSizeSweep,
+                         ::testing::Values(1, 8, 16, 17, 64, 100, 128, 333,
+                                           1024, 4096, 10000));
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,68 @@
+#include "baseline/serial_engine.h"
+
+#include <gtest/gtest.h>
+
+namespace bdm::baseline {
+namespace {
+
+TEST(SerialEngineTest, ProliferationPopulationGrows) {
+  SerialEngine::Config config;
+  config.model = SerialEngine::ModelKind::kProliferation;
+  config.num_agents = 200;
+  config.space = 300;
+  SerialEngine engine(config);
+  EXPECT_EQ(engine.NumAgents(), 200u);
+  engine.Simulate(60);
+  EXPECT_GT(engine.NumAgents(), 200u);
+}
+
+TEST(SerialEngineTest, EpidemiologyStatesTransition) {
+  SerialEngine::Config config;
+  config.model = SerialEngine::ModelKind::kEpidemiology;
+  config.num_agents = 500;
+  config.space = 150;
+  SerialEngine engine(config);
+  engine.Simulate(30);
+  int infected_or_recovered = 0;
+  for (const auto& agent : engine.agents()) {
+    infected_or_recovered += agent->type != 0;
+  }
+  EXPECT_GT(infected_or_recovered, 5);  // the initial 1% seeded an outbreak
+}
+
+TEST(SerialEngineTest, EpidemiologyConservesAgents) {
+  SerialEngine::Config config;
+  config.model = SerialEngine::ModelKind::kEpidemiology;
+  config.num_agents = 300;
+  SerialEngine engine(config);
+  engine.Simulate(20);
+  EXPECT_EQ(engine.NumAgents(), 300u);
+}
+
+TEST(SerialEngineTest, DeterministicForFixedSeed) {
+  auto run = [] {
+    SerialEngine::Config config;
+    config.model = SerialEngine::ModelKind::kProliferation;
+    config.num_agents = 100;
+    config.seed = 7;
+    SerialEngine engine(config);
+    engine.Simulate(20);
+    std::vector<real_t> xs;
+    for (const auto& a : engine.agents()) {
+      xs.push_back(a->position.x);
+    }
+    return xs;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(SerialEngineTest, IndexFootprintIsReported) {
+  SerialEngine::Config config;
+  config.num_agents = 500;
+  SerialEngine engine(config);
+  engine.Simulate(1);
+  EXPECT_GT(engine.IndexMemoryFootprint(), 0u);
+}
+
+}  // namespace
+}  // namespace bdm::baseline

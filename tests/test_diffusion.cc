@@ -1,0 +1,222 @@
+#include "continuum/diffusion_grid.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+namespace {
+
+TEST(DiffusionGridTest, StartsAtZeroConcentration) {
+  DiffusionGrid grid("s", 10, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  EXPECT_EQ(grid.GetConcentration({50, 50, 50}), 0);
+  EXPECT_EQ(grid.GetNumVolumes(), 16 * 16 * 16);
+}
+
+TEST(DiffusionGridTest, DepositIsReadBack) {
+  DiffusionGrid grid("s", 10, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({50, 50, 50}, 3.5);
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({50, 50, 50}), 3.5);
+}
+
+TEST(DiffusionGridTest, DepositsAccumulate) {
+  DiffusionGrid grid("s", 10, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({50, 50, 50}, 1);
+  grid.IncreaseConcentrationBy({50, 50, 50}, 2);
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({50, 50, 50}), 3);
+}
+
+TEST(DiffusionGridTest, MassConservedWithoutDecay) {
+  NumaThreadPool pool(Topology(2, 1));
+  DiffusionGrid grid("s", 50, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({50, 50, 50}, 100);
+  auto total_mass = [&] {
+    double total = 0;
+    for (int64_t x = 0; x < 16; ++x) {
+      for (int64_t y = 0; y < 16; ++y) {
+        for (int64_t z = 0; z < 16; ++z) {
+          const Real3 p = {x * 100.0 / 15, y * 100.0 / 15, z * 100.0 / 15};
+          total += grid.GetConcentration(p);
+        }
+      }
+    }
+    return total;
+  };
+  const double before = total_mass();
+  for (int i = 0; i < 20; ++i) {
+    grid.Step(0.05, &pool);
+  }
+  // Zero-flux boundaries: total mass is invariant without decay.
+  EXPECT_NEAR(total_mass(), before, before * 1e-9);
+}
+
+TEST(DiffusionGridTest, PeakSpreadsToNeighbors) {
+  NumaThreadPool pool(Topology(2, 1));
+  DiffusionGrid grid("s", 100, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({50, 50, 50}, 100);
+  const real_t peak_before = grid.GetConcentration({50, 50, 50});
+  grid.Step(0.1, &pool);
+  EXPECT_LT(grid.GetConcentration({50, 50, 50}), peak_before);
+  EXPECT_GT(grid.GetConcentration({57, 50, 50}), 0);
+}
+
+TEST(DiffusionGridTest, DecayReducesMass) {
+  NumaThreadPool pool(Topology(1, 1));
+  DiffusionGrid grid("s", 0, 0.5, 8);  // decay only, no diffusion
+  grid.Initialize({0, 0, 0}, {10, 10, 10});
+  grid.IncreaseConcentrationBy({5, 5, 5}, 10);
+  grid.Step(0.1, &pool);
+  // c *= (1 - 0.5*0.1)
+  EXPECT_NEAR(grid.GetConcentration({5, 5, 5}), 10 * 0.95, 1e-9);
+}
+
+TEST(DiffusionGridTest, GradientPointsTowardPeak) {
+  NumaThreadPool pool(Topology(2, 1));
+  DiffusionGrid grid("s", 100, 0, 16);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({80, 50, 50}, 100);
+  for (int i = 0; i < 10; ++i) {
+    grid.Step(0.05, &pool);
+  }
+  // A probe left of the peak must see a positive x gradient.
+  const Real3 g = grid.GetGradient({55, 50, 50});
+  EXPECT_GT(g.x, 0);
+  EXPECT_NEAR(g.y, 0, std::fabs(g.x));
+}
+
+TEST(DiffusionGridTest, GradientOfUniformFieldIsZero) {
+  DiffusionGrid grid("s", 10, 0, 8);
+  grid.Initialize({0, 0, 0}, {10, 10, 10});
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      for (int z = 0; z < 8; ++z) {
+        grid.IncreaseConcentrationBy(
+            {x * 10.0 / 7, y * 10.0 / 7, z * 10.0 / 7}, 5);
+      }
+    }
+  }
+  const Real3 g = grid.GetGradient({5, 5, 5});
+  EXPECT_NEAR(g.Norm(), 0, 1e-12);
+}
+
+TEST(DiffusionGridTest, StabilityUnderLargeTimestep) {
+  // dt far above the explicit-Euler bound must still produce finite,
+  // non-negative values (internal substepping).
+  NumaThreadPool pool(Topology(2, 1));
+  DiffusionGrid grid("s", 1000, 0.1, 12);
+  grid.Initialize({0, 0, 0}, {50, 50, 50});
+  grid.IncreaseConcentrationBy({25, 25, 25}, 1000);
+  for (int i = 0; i < 5; ++i) {
+    grid.Step(1.0, &pool);
+  }
+  for (int x = 0; x < 12; ++x) {
+    const Real3 p = {x * 50.0 / 11, 25, 25};
+    const real_t c = grid.GetConcentration(p);
+    ASSERT_TRUE(std::isfinite(c));
+    ASSERT_GE(c, -1e-9);
+  }
+}
+
+TEST(DiffusionGridTest, SerialAndParallelAgree) {
+  auto run = [](NumaThreadPool* pool) {
+    DiffusionGrid grid("s", 80, 0.02, 16);
+    grid.Initialize({0, 0, 0}, {100, 100, 100});
+    grid.IncreaseConcentrationBy({30, 60, 50}, 100);
+    for (int i = 0; i < 10; ++i) {
+      grid.Step(0.05, pool);
+    }
+    std::vector<real_t> samples;
+    for (int x = 0; x < 16; ++x) {
+      samples.push_back(grid.GetConcentration({x * 100.0 / 15, 60, 50}));
+    }
+    return samples;
+  };
+  NumaThreadPool pool(Topology(4, 2));
+  const auto parallel = run(&pool);
+  const auto serial = run(nullptr);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i], serial[i]);
+  }
+}
+
+TEST(DiffusionGridTest, AbsorbingBoundaryLeaksMass) {
+  NumaThreadPool pool(Topology(2, 1));
+  DiffusionGrid grid("s", 100, 0, 8);
+  grid.Initialize({0, 0, 0}, {10, 10, 10});
+  grid.SetBoundaryCondition(DiffusionGrid::BoundaryCondition::kAbsorbing);
+  grid.SetInitialValue([](const Real3&) { return 1.0; });
+  auto total = [&] {
+    double sum = 0;
+    for (int x = 0; x < 8; ++x) {
+      for (int y = 0; y < 8; ++y) {
+        for (int z = 0; z < 8; ++z) {
+          sum += grid.GetConcentration(
+              {x * 10.0 / 7, y * 10.0 / 7, z * 10.0 / 7});
+        }
+      }
+    }
+    return sum;
+  };
+  const double before = total();
+  grid.Step(0.01, &pool);
+  EXPECT_LT(total(), before);  // substance leaves through the rim
+}
+
+TEST(DiffusionGridTest, SetInitialValueEvaluatesAtVoxelCenters) {
+  DiffusionGrid grid("s", 10, 0, 4);
+  grid.Initialize({0, 0, 0}, {3, 3, 3});  // voxel length 1
+  grid.SetInitialValue([](const Real3& p) { return p.x; });
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({0, 0, 0}), 0);
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({2, 0, 0}), 2);
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({3, 3, 3}), 3);
+}
+
+TEST(DiffusionGridTest, GaussianSpreadMatchesAnalyticWidth) {
+  // A point release under free diffusion acquires variance 2 D t per axis;
+  // with closed boundaries and a short horizon the analytic law applies.
+  NumaThreadPool pool(Topology(2, 1));
+  const real_t diffusion = 200;
+  DiffusionGrid grid("s", diffusion, 0, 33);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  grid.IncreaseConcentrationBy({50, 50, 50}, 1000);
+  const real_t t = 0.5;
+  for (int i = 0; i < 10; ++i) {
+    grid.Step(t / 10, &pool);
+  }
+  // Measure the empirical variance along x through the center plane.
+  double mass = 0;
+  double second_moment = 0;
+  for (int x = 0; x < 33; ++x) {
+    const double pos = x * 100.0 / 32;
+    const double c = grid.GetConcentration({pos, 50, 50});
+    mass += c;
+    second_moment += c * (pos - 50) * (pos - 50);
+  }
+  const double variance = second_moment / mass;
+  EXPECT_NEAR(variance, 2 * diffusion * t, 2 * diffusion * t * 0.25);
+}
+
+class DiffusionResolutionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DiffusionResolutionSweep, VoxelIndexRoundTripsGridPoints) {
+  const int res = GetParam();
+  DiffusionGrid grid("s", 10, 0, res);
+  grid.Initialize({0, 0, 0}, {100, 100, 100});
+  EXPECT_EQ(grid.GetNumVolumes(), static_cast<int64_t>(res) * res * res);
+  // Corner positions map to distinct voxels.
+  EXPECT_NE(grid.VoxelIndex({0, 0, 0}), grid.VoxelIndex({100, 100, 100}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, DiffusionResolutionSweep,
+                         ::testing::Values(2, 4, 8, 16, 33));
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,274 @@
+// Environment correctness: each implementation must return exactly the
+// brute-force neighbor set, and all three must agree with each other
+// (precondition for the Figure 11 performance comparison being meaningful).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "env/kd_tree.h"
+#include "env/octree.h"
+#include "env/uniform_grid.h"
+#include "math/random.h"
+
+namespace bdm {
+namespace {
+
+class EnvFixture {
+ public:
+  EnvFixture(int threads = 2, int domains = 1) {
+    param_.num_threads = threads;
+    param_.num_numa_domains = domains;
+    pool_ = std::make_unique<NumaThreadPool>(Topology(threads, domains));
+    rm_ = std::make_unique<ResourceManager>(param_, pool_.get(), &gen_);
+  }
+
+  void AddRandomCells(int n, real_t space, real_t diameter, uint64_t seed) {
+    Random random(seed);
+    for (int i = 0; i < n; ++i) {
+      rm_->AddAgent(new Cell(random.UniformPoint(0, space), diameter));
+    }
+  }
+
+  std::multiset<AgentUid> BruteForceNeighbors(const Agent& query,
+                                              real_t squared_radius) const {
+    std::multiset<AgentUid> result;
+    rm_->ForEachAgent([&](Agent* agent, AgentHandle) {
+      if (agent != &query &&
+          agent->GetPosition().SquaredDistance(query.GetPosition()) <=
+              squared_radius) {
+        result.insert(agent->GetUid());
+      }
+    });
+    return result;
+  }
+
+  std::multiset<AgentUid> EnvNeighbors(Environment* env, const Agent& query,
+                                       real_t squared_radius) const {
+    std::multiset<AgentUid> result;
+    env->ForEachNeighbor(query, squared_radius, [&](Agent* agent, real_t d2) {
+      EXPECT_LE(d2, squared_radius);
+      EXPECT_NEAR(d2, agent->GetPosition().SquaredDistance(query.GetPosition()),
+                  1e-9);
+      result.insert(agent->GetUid());
+    });
+    return result;
+  }
+
+  Param param_;
+  AgentUidGenerator gen_;
+  std::unique_ptr<NumaThreadPool> pool_;
+  std::unique_ptr<ResourceManager> rm_;
+};
+
+struct EnvCase {
+  EnvironmentType type;
+  int num_agents;
+  real_t space;
+  real_t radius_factor;  // query radius = factor * diameter
+  uint64_t seed;
+};
+
+class EnvironmentCorrectness : public ::testing::TestWithParam<EnvCase> {
+ protected:
+  static std::unique_ptr<Environment> Make(const Param& param,
+                                           EnvironmentType type) {
+    switch (type) {
+      case EnvironmentType::kUniformGrid:
+        return std::make_unique<UniformGridEnvironment>(param);
+      case EnvironmentType::kKdTree:
+        return std::make_unique<KdTreeEnvironment>(param);
+      case EnvironmentType::kOctree:
+        return std::make_unique<OctreeEnvironment>(param);
+    }
+    return nullptr;
+  }
+};
+
+TEST_P(EnvironmentCorrectness, MatchesBruteForce) {
+  const EnvCase c = GetParam();
+  EnvFixture fix;
+  fix.AddRandomCells(c.num_agents, c.space, 10, c.seed);
+  auto env = Make(fix.param_, c.type);
+  env->Update(*fix.rm_, fix.pool_.get());
+  const real_t radius = 10 * c.radius_factor;
+  const real_t squared_radius = radius * radius;
+  fix.rm_->ForEachAgent([&](Agent* query, AgentHandle) {
+    ASSERT_EQ(fix.EnvNeighbors(env.get(), *query, squared_radius),
+              fix.BruteForceNeighbors(*query, squared_radius))
+        << "query uid " << query->GetUid();
+  });
+}
+
+TEST_P(EnvironmentCorrectness, PositionAnchoredSearchMatches) {
+  const EnvCase c = GetParam();
+  EnvFixture fix;
+  fix.AddRandomCells(c.num_agents, c.space, 10, c.seed);
+  auto env = Make(fix.param_, c.type);
+  env->Update(*fix.rm_, fix.pool_.get());
+  Random random(c.seed * 31 + 7);
+  const real_t squared_radius = 100 * c.radius_factor * c.radius_factor;
+  for (int i = 0; i < 20; ++i) {
+    const Real3 probe = random.UniformPoint(-0.1 * c.space, 1.1 * c.space);
+    std::multiset<AgentUid> expected;
+    fix.rm_->ForEachAgent([&](Agent* agent, AgentHandle) {
+      if (agent->GetPosition().SquaredDistance(probe) <= squared_radius) {
+        expected.insert(agent->GetUid());
+      }
+    });
+    std::multiset<AgentUid> actual;
+    env->ForEachNeighbor(probe, squared_radius,
+                         [&](Agent* agent, real_t) { actual.insert(agent->GetUid()); });
+    ASSERT_EQ(actual, expected);
+  }
+}
+
+TEST_P(EnvironmentCorrectness, EmptySimulationIsSafe) {
+  EnvFixture fix;
+  auto env = Make(fix.param_, GetParam().type);
+  env->Update(*fix.rm_, fix.pool_.get());
+  int calls = 0;
+  env->ForEachNeighbor(Real3{0, 0, 0}, 100, [&](Agent*, real_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST_P(EnvironmentCorrectness, BoundsCoverAllAgents) {
+  const EnvCase c = GetParam();
+  EnvFixture fix;
+  fix.AddRandomCells(c.num_agents, c.space, 10, c.seed);
+  auto env = Make(fix.param_, c.type);
+  env->Update(*fix.rm_, fix.pool_.get());
+  const Real3 lower = env->GetLowerBound();
+  const Real3 upper = env->GetUpperBound();
+  fix.rm_->ForEachAgent([&](Agent* agent, AgentHandle) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(agent->GetPosition()[i], lower[i] - 1e-9);
+      EXPECT_LE(agent->GetPosition()[i], upper[i] + 1e-9);
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, EnvironmentCorrectness,
+    ::testing::Values(EnvCase{EnvironmentType::kUniformGrid, 50, 100, 1, 1},
+                      EnvCase{EnvironmentType::kUniformGrid, 300, 150, 1, 2},
+                      EnvCase{EnvironmentType::kUniformGrid, 300, 150, 2.5, 3},
+                      EnvCase{EnvironmentType::kUniformGrid, 1000, 60, 0.7, 4}));
+
+INSTANTIATE_TEST_SUITE_P(
+    KdTree, EnvironmentCorrectness,
+    ::testing::Values(EnvCase{EnvironmentType::kKdTree, 50, 100, 1, 5},
+                      EnvCase{EnvironmentType::kKdTree, 300, 150, 1, 6},
+                      EnvCase{EnvironmentType::kKdTree, 1000, 60, 0.7, 7}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Octree, EnvironmentCorrectness,
+    ::testing::Values(EnvCase{EnvironmentType::kOctree, 50, 100, 1, 8},
+                      EnvCase{EnvironmentType::kOctree, 300, 150, 1, 9},
+                      EnvCase{EnvironmentType::kOctree, 1000, 60, 0.7, 10}));
+
+// --- uniform grid specifics -------------------------------------------------
+
+TEST(UniformGridTest, TimestampReuseAcrossUpdates) {
+  EnvFixture fix;
+  fix.AddRandomCells(200, 100, 10, 11);
+  UniformGridEnvironment grid(fix.param_);
+  // Many updates without moving agents must keep producing correct counts
+  // (exercises the timestamp-based lazy clearing).
+  for (int update = 0; update < 5; ++update) {
+    grid.Update(*fix.rm_, fix.pool_.get());
+    uint64_t total = 0;
+    for (int64_t b = 0; b < grid.GetNumBoxes(); ++b) {
+      total += grid.GetBoxCount(b);
+    }
+    ASSERT_EQ(total, fix.rm_->GetNumAgents());
+  }
+}
+
+TEST(UniformGridTest, BoxIterationVisitsEachAgentOnce) {
+  EnvFixture fix;
+  fix.AddRandomCells(500, 120, 10, 13);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  std::multiset<AgentUid> visited;
+  for (int64_t b = 0; b < grid.GetNumBoxes(); ++b) {
+    grid.ForEachAgentInBox(b, [&](Agent* agent) { visited.insert(agent->GetUid()); });
+  }
+  EXPECT_EQ(visited.size(), fix.rm_->GetNumAgents());
+  // multiset: duplicates would show as size mismatch vs the unique set
+  std::set<AgentUid> unique(visited.begin(), visited.end());
+  EXPECT_EQ(unique.size(), visited.size());
+}
+
+TEST(UniformGridTest, BoxLengthTracksLargestAgent) {
+  EnvFixture fix;
+  fix.AddRandomCells(20, 100, 10, 17);
+  fix.rm_->AddAgent(new Cell({50, 50, 50}, 25));  // one big agent
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  EXPECT_DOUBLE_EQ(grid.GetBoxLength(), 25);
+  EXPECT_DOUBLE_EQ(grid.GetInteractionRadius(), 25);
+}
+
+TEST(UniformGridTest, FixedBoxLengthOverrides) {
+  EnvFixture fix;
+  fix.param_.fixed_box_length = 40;
+  fix.AddRandomCells(20, 100, 10, 19);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  EXPECT_DOUBLE_EQ(grid.GetBoxLength(), 40);
+}
+
+TEST(UniformGridTest, SingleAgentGrid) {
+  EnvFixture fix;
+  fix.rm_->AddAgent(new Cell({5, 5, 5}, 10));
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  EXPECT_EQ(grid.GetNumBoxes(), 1);
+  EXPECT_EQ(grid.GetBoxCount(0), 1u);
+}
+
+TEST(UniformGridTest, DimensionChangeReallocates) {
+  EnvFixture fix;
+  auto* wanderer = new Cell({0, 0, 0}, 10);
+  fix.rm_->AddAgent(wanderer);
+  fix.rm_->AddAgent(new Cell({50, 50, 50}, 10));
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  const int64_t boxes_before = grid.GetNumBoxes();
+  wanderer->SetPosition({500, 0, 0});  // stretches the bounding box
+  grid.Update(*fix.rm_, fix.pool_.get());
+  EXPECT_GT(grid.GetNumBoxes(), boxes_before);
+  // Counts stay exact after reallocation.
+  uint64_t total = 0;
+  for (int64_t b = 0; b < grid.GetNumBoxes(); ++b) {
+    total += grid.GetBoxCount(b);
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(UniformGridTest, MemoryFootprintGrowsWithAgents) {
+  EnvFixture fix;
+  fix.AddRandomCells(100, 100, 10, 23);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  const size_t small = grid.MemoryFootprint();
+  fix.AddRandomCells(10000, 100, 10, 29);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  EXPECT_GT(grid.MemoryFootprint(), small);
+}
+
+TEST(EnvironmentNames, AreDistinct) {
+  Param param;
+  UniformGridEnvironment g(param);
+  KdTreeEnvironment k(param);
+  OctreeEnvironment o(param);
+  std::set<std::string> names = {g.GetName(), k.GetName(), o.GetName()};
+  EXPECT_EQ(names.size(), 3u);
+}
+
+}  // namespace
+}  // namespace bdm

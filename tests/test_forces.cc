@@ -1,0 +1,113 @@
+#include "physics/interaction_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "models/cell_sorting.h"
+
+namespace bdm {
+namespace {
+
+TEST(InteractionForceTest, OverlappingSpheresRepel) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b({8, 0, 0}, 10);  // centers 8 apart, radii sum 10 -> overlap 2
+  const Real3 f_on_a = force.Calculate(&a, &b);
+  EXPECT_GT(f_on_a.Dot({-1, 0, 0}), 0);  // pushes a away from b
+  EXPECT_NEAR(f_on_a.y, 0, 1e-12);
+  EXPECT_NEAR(f_on_a.z, 0, 1e-12);
+}
+
+TEST(InteractionForceTest, RepulsionGrowsWithOverlap) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b1({9, 0, 0}, 10);
+  Cell b2({6, 0, 0}, 10);
+  EXPECT_GT(force.Calculate(&a, &b2).Norm(), force.Calculate(&a, &b1).Norm());
+}
+
+TEST(InteractionForceTest, AdhesionZoneAttracts) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b({10.3, 0, 0}, 10);  // gap 0.3, inside 10% adhesion zone (width 1)
+  const Real3 f_on_a = force.Calculate(&a, &b);
+  EXPECT_GT(f_on_a.Dot({1, 0, 0}), 0);  // pulls a towards b
+}
+
+TEST(InteractionForceTest, ZeroBeyondCutoff) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b({12, 0, 0}, 10);  // gap 2 > 10% * 10 = 1
+  EXPECT_EQ(force.Calculate(&a, &b), (Real3{0, 0, 0}));
+}
+
+TEST(InteractionForceTest, NewtonsThirdLaw) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b({4, 5, -3}, 12);
+  const Real3 f_ab = force.Calculate(&a, &b);
+  const Real3 f_ba = force.Calculate(&b, &a);
+  EXPECT_NEAR((f_ab + f_ba).Norm(), 0, 1e-12);
+}
+
+TEST(InteractionForceTest, ForceIsContinuousAtContact) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell just_inside({9.999, 0, 0}, 10);
+  Cell just_outside({10.001, 0, 0}, 10);
+  EXPECT_NEAR(force.Calculate(&a, &just_inside).Norm(),
+              force.Calculate(&a, &just_outside).Norm(), 0.05);
+}
+
+TEST(InteractionForceTest, ForceIsContinuousAtCutoff) {
+  InteractionForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell just_inside({10.999, 0, 0}, 10);
+  EXPECT_NEAR(force.Calculate(&a, &just_inside).Norm(), 0, 0.01);
+}
+
+TEST(InteractionForceTest, CoincidentCentersProduceFiniteForce) {
+  InteractionForce force;
+  Cell a({5, 5, 5}, 10);
+  Cell b({5, 5, 5}, 10);
+  const Real3 f = force.Calculate(&a, &b);
+  EXPECT_TRUE(std::isfinite(f.Norm()));
+  EXPECT_GT(f.Norm(), 0);
+}
+
+TEST(InteractionForceTest, MixedDiametersUseSummedRadii) {
+  InteractionForce force;
+  Cell small({0, 0, 0}, 4);
+  Cell large({10, 0, 0}, 18);  // radii sum 11 > distance 10: overlap
+  EXPECT_GT(force.Calculate(&small, &large).Norm(), 0);
+}
+
+// --- differential adhesion (cell sorting force) -------------------------------
+
+TEST(AdhesiveForceTest, SameTypeAdhesionIsStronger) {
+  models::cell_sorting::AdhesiveForce force(3.0);
+  Cell a({0, 0, 0}, 10);
+  Cell b({10.5, 0, 0}, 10);  // in the adhesion zone
+  a.SetCellType(0);
+  b.SetCellType(0);
+  const real_t same = force.Calculate(&a, &b).Norm();
+  b.SetCellType(1);
+  const real_t cross = force.Calculate(&a, &b).Norm();
+  EXPECT_GT(same, cross);
+  EXPECT_NEAR(same / cross, 3.0, 1e-9);
+}
+
+TEST(AdhesiveForceTest, RepulsionIsTypeBlind) {
+  models::cell_sorting::AdhesiveForce force(3.0);
+  Cell a({0, 0, 0}, 10);
+  Cell b({8, 0, 0}, 10);  // overlapping -> repulsive branch
+  a.SetCellType(0);
+  b.SetCellType(0);
+  const real_t same = force.Calculate(&a, &b).Norm();
+  b.SetCellType(1);
+  const real_t cross = force.Calculate(&a, &b).Norm();
+  EXPECT_DOUBLE_EQ(same, cross);
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,107 @@
+#include "spatial/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+namespace bdm {
+namespace {
+
+TEST(HilbertTest, Order1CubeVisitsAllCorners) {
+  std::set<uint64_t> indices;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        indices.insert(HilbertEncode3D(x, y, z, 1));
+      }
+    }
+  }
+  // A bijection onto 0..7.
+  EXPECT_EQ(indices.size(), 8u);
+  EXPECT_EQ(*indices.begin(), 0u);
+  EXPECT_EQ(*indices.rbegin(), 7u);
+}
+
+TEST(HilbertTest, StartsAtOrigin) {
+  for (int bits : {1, 2, 3, 5}) {
+    EXPECT_EQ(HilbertEncode3D(0, 0, 0, bits), 0u) << bits;
+  }
+}
+
+class HilbertBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(HilbertBits, EncodeIsABijection) {
+  const int bits = GetParam();
+  const uint32_t side = 1u << bits;
+  std::vector<bool> seen(uint64_t{1} << (3 * bits), false);
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      for (uint32_t z = 0; z < side; ++z) {
+        const uint64_t idx = HilbertEncode3D(x, y, z, bits);
+        ASSERT_LT(idx, seen.size());
+        ASSERT_FALSE(seen[idx]) << "duplicate index " << idx;
+        seen[idx] = true;
+      }
+    }
+  }
+}
+
+TEST_P(HilbertBits, DecodeInvertsEncode) {
+  const int bits = GetParam();
+  const uint32_t side = 1u << bits;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      for (uint32_t z = 0; z < side; ++z) {
+        uint32_t dx, dy, dz;
+        HilbertDecode3D(HilbertEncode3D(x, y, z, bits), bits, &dx, &dy, &dz);
+        ASSERT_EQ(dx, x);
+        ASSERT_EQ(dy, y);
+        ASSERT_EQ(dz, z);
+      }
+    }
+  }
+}
+
+TEST_P(HilbertBits, ConsecutiveIndicesAreFaceAdjacent) {
+  // The defining Hilbert property (and what Morton lacks): consecutive
+  // curve positions differ by exactly one step along one axis.
+  const int bits = GetParam();
+  const uint32_t side = 1u << bits;
+  const uint64_t total = uint64_t{1} << (3 * bits);
+  uint32_t px = 0, py = 0, pz = 0;
+  HilbertDecode3D(0, bits, &px, &py, &pz);
+  for (uint64_t idx = 1; idx < total; ++idx) {
+    uint32_t x, y, z;
+    HilbertDecode3D(idx, bits, &x, &y, &z);
+    const int manhattan = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                          std::abs(static_cast<int>(y) - static_cast<int>(py)) +
+                          std::abs(static_cast<int>(z) - static_cast<int>(pz));
+    ASSERT_EQ(manhattan, 1) << "jump at index " << idx;
+    px = x;
+    py = y;
+    pz = z;
+    (void)side;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, HilbertBits, ::testing::Values(1, 2, 3, 4));
+
+TEST(HilbertTest, LargeCoordinatesRoundTrip) {
+  const int bits = 21;
+  const uint32_t samples[] = {0, 1, 12345, 999999, (1u << 21) - 1};
+  for (uint32_t x : samples) {
+    for (uint32_t y : samples) {
+      uint32_t dx, dy, dz;
+      HilbertDecode3D(HilbertEncode3D(x, y, x / 2 + y / 3, bits), bits, &dx,
+                      &dy, &dz);
+      EXPECT_EQ(dx, x);
+      EXPECT_EQ(dy, y);
+      EXPECT_EQ(dz, x / 2 + y / 3);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace bdm

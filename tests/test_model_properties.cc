@@ -1,0 +1,135 @@
+// Property-style model tests: dose-response monotonicity and conservation
+// laws that must hold across parameter ranges, not just at one setting.
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/cell_proliferation.h"
+#include "models/epidemiology.h"
+#include "models/oncology.h"
+
+namespace bdm {
+namespace {
+
+Param FastParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  param.fixed_box_length = 10;
+  return param;
+}
+
+double AttackRate(real_t infection_probability, uint64_t seed) {
+  Param param = FastParam();
+  param.random_seed = seed;
+  Simulation sim("sir", param);
+  models::epidemiology::Config config;
+  config.num_persons = 600;
+  config.space = 250;
+  config.infection_probability = infection_probability;
+  models::epidemiology::Build(&sim, config);
+  sim.Simulate(60);
+  const auto counts = models::epidemiology::CountStates(&sim);
+  return 1.0 - static_cast<double>(counts[0]) / config.num_persons;
+}
+
+TEST(EpidemiologyPropertyTest, AttackRateIncreasesWithInfectiousness) {
+  // Average over seeds to suppress stochastic noise.
+  auto mean_attack = [](real_t p) {
+    double sum = 0;
+    for (uint64_t seed : {11u, 22u, 33u}) {
+      sum += AttackRate(p, seed);
+    }
+    return sum / 3;
+  };
+  const double low = mean_attack(0.02);
+  const double mid = mean_attack(0.2);
+  const double high = mean_attack(0.9);
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(EpidemiologyPropertyTest, ZeroInfectiousnessNeverSpreads) {
+  Param param = FastParam();
+  Simulation sim("sir", param);
+  models::epidemiology::Config config;
+  config.num_persons = 300;
+  config.space = 200;
+  config.infection_probability = 0;
+  models::epidemiology::Build(&sim, config);
+  const auto before = models::epidemiology::CountStates(&sim);
+  sim.Simulate(60);
+  const auto after = models::epidemiology::CountStates(&sim);
+  // Susceptibles can never convert; initial infecteds recover.
+  EXPECT_EQ(after[models::epidemiology::kSusceptible],
+            before[models::epidemiology::kSusceptible]);
+  EXPECT_EQ(after[models::epidemiology::kInfected], 0u);
+}
+
+TEST(EpidemiologyPropertyTest, PopulationIsConserved) {
+  for (real_t p : {0.1, 0.5}) {
+    Param param = FastParam();
+    Simulation sim("sir", param);
+    models::epidemiology::Config config;
+    config.num_persons = 400;
+    config.infection_probability = p;
+    models::epidemiology::Build(&sim, config);
+    sim.Simulate(40);
+    const auto counts = models::epidemiology::CountStates(&sim);
+    EXPECT_EQ(counts[0] + counts[1] + counts[2], config.num_persons);
+  }
+}
+
+TEST(ProliferationPropertyTest, GrowthRateOrdersPopulationSize) {
+  auto population_after = [](real_t growth_rate) {
+    Param param = FastParam();
+    param.fixed_box_length = 0;
+    Simulation sim("growth", param);
+    models::proliferation::Config config;
+    config.num_cells = 64;
+    config.volume_growth_rate = growth_rate;
+    models::proliferation::Build(&sim, config);
+    sim.Simulate(80);
+    return sim.GetResourceManager()->GetNumAgents();
+  };
+  const uint64_t slow = population_after(1000);
+  const uint64_t fast = population_after(8000);
+  EXPECT_GE(fast, slow);
+  EXPECT_GT(fast, 64u);
+}
+
+TEST(ProliferationPropertyTest, ZeroGrowthNeverDivides) {
+  Param param = FastParam();
+  param.fixed_box_length = 0;
+  Simulation sim("growth", param);
+  models::proliferation::Config config;
+  config.num_cells = 27;
+  config.volume_growth_rate = 0;
+  models::proliferation::Build(&sim, config);
+  sim.Simulate(60);
+  EXPECT_EQ(sim.GetResourceManager()->GetNumAgents(), 27u);
+}
+
+TEST(OncologyPropertyTest, HigherDeathRateShrinksPopulation) {
+  auto population_after = [](real_t death_probability) {
+    Param param = FastParam();
+    param.fixed_box_length = 0;
+    Simulation sim("tumor", param);
+    models::oncology::Config config;
+    config.num_cells = 500;
+    config.spheroid_radius = 40;  // dense: hypoxia active from the start
+    config.volume_growth_rate = 0;
+    config.death_probability = death_probability;
+    models::oncology::Build(&sim, config);
+    sim.Simulate(30);
+    return sim.GetResourceManager()->GetNumAgents();
+  };
+  EXPECT_LT(population_after(0.2), population_after(0.01));
+  EXPECT_EQ(population_after(0.0), 500u);
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,244 @@
+// Integration tests: every benchmark model builds, runs, and exhibits the
+// qualitative dynamics the paper's Table 1 attributes to it.
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/cell_clustering.h"
+#include "models/cell_proliferation.h"
+#include "models/cell_sorting.h"
+#include "models/epidemiology.h"
+#include "models/neuroscience.h"
+#include "models/oncology.h"
+#include "models/registry.h"
+
+namespace bdm {
+namespace {
+
+Param TestParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  return param;
+}
+
+TEST(ProliferationModelTest, PopulationGrows) {
+  Simulation sim("test", TestParam());
+  models::proliferation::Config config;
+  config.num_cells = 125;
+  models::proliferation::Build(&sim, config);
+  EXPECT_EQ(sim.GetResourceManager()->GetNumAgents(), 125u);
+  sim.Simulate(60);
+  EXPECT_GT(sim.GetResourceManager()->GetNumAgents(), 125u);
+}
+
+TEST(ProliferationModelTest, RandomInitCoversSpace) {
+  Simulation sim("test", TestParam());
+  models::proliferation::Config config;
+  config.num_cells = 125;
+  config.random_init = true;
+  models::proliferation::Build(&sim, config);
+  // Not all on lattice points: at least one coordinate off-grid.
+  bool off_grid = false;
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    const real_t x = agent->GetPosition().x;
+    off_grid |= std::fabs(x / config.spacing -
+                          std::round(x / config.spacing)) > 1e-6;
+  });
+  EXPECT_TRUE(off_grid);
+}
+
+TEST(ClusteringModelTest, SubstancesRegistered) {
+  Simulation sim("test", TestParam());
+  models::clustering::Config config;
+  config.num_cells = 200;
+  models::clustering::Build(&sim, config);
+  EXPECT_NE(sim.GetDiffusionGrid("substance_0"), nullptr);
+  EXPECT_NE(sim.GetDiffusionGrid("substance_1"), nullptr);
+}
+
+TEST(ClusteringModelTest, CellsClusterOverTime) {
+  Simulation sim("test", TestParam());
+  models::clustering::Config config;
+  config.num_cells = 400;
+  config.space = 150;
+  models::clustering::Build(&sim, config);
+  const real_t before = models::clustering::SameTypeNeighborFraction(&sim, 30);
+  sim.Simulate(120);
+  const real_t after = models::clustering::SameTypeNeighborFraction(&sim, 30);
+  // Random mix starts near 0.5; chemotaxis toward own substance raises it.
+  EXPECT_NEAR(before, 0.5, 0.1);
+  EXPECT_GT(after, before + 0.05);
+}
+
+TEST(EpidemiologyModelTest, InfectionSpreads) {
+  Simulation sim("test", TestParam());
+  models::epidemiology::Config config;
+  config.num_persons = 800;
+  config.space = 300;  // dense enough for an outbreak
+  models::epidemiology::Build(&sim, config);
+  const auto before = models::epidemiology::CountStates(&sim);
+  EXPECT_GT(before[models::epidemiology::kSusceptible], 0u);
+  EXPECT_GT(before[models::epidemiology::kInfected], 0u);
+  EXPECT_EQ(before[models::epidemiology::kRecovered], 0u);
+  sim.Simulate(40);
+  const auto after = models::epidemiology::CountStates(&sim);
+  // Total conserved; susceptibles only decrease; infections happened.
+  EXPECT_EQ(after[0] + after[1] + after[2], config.num_persons);
+  EXPECT_LT(after[models::epidemiology::kSusceptible],
+            before[models::epidemiology::kSusceptible]);
+}
+
+TEST(EpidemiologyModelTest, EveryoneEventuallyRecoversWhenIsolated) {
+  Simulation sim("test", TestParam());
+  models::epidemiology::Config config;
+  config.num_persons = 50;
+  config.space = 10000;  // so sparse that transmission is (almost) impossible
+  config.initial_infected_fraction = 1.0;
+  config.recovery_time = 10;
+  models::epidemiology::Build(&sim, config);
+  sim.Simulate(15);
+  const auto counts = models::epidemiology::CountStates(&sim);
+  EXPECT_EQ(counts[models::epidemiology::kRecovered], 50u);
+}
+
+TEST(OncologyModelTest, CreatesAndDeletesAgents) {
+  Simulation sim("test", TestParam());
+  models::oncology::Config config;
+  config.num_cells = 600;
+  config.spheroid_radius = 40;   // dense: hypoxic core forms immediately
+  config.volume_growth_rate = 8000;  // rim cells divide within ~12 iterations
+  models::oncology::Build(&sim, config);
+  uint64_t deaths_possible = 0;
+  sim.Simulate(40);
+  // The population must have changed in both directions over the run; we
+  // detect deletions via recycled uids (the generator only recycles on
+  // removal).
+  deaths_possible = sim.GetResourceManager()->GetNumAgents();
+  EXPECT_GT(deaths_possible, 0u);
+  bool saw_recycled_uid = false;
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    saw_recycled_uid |= agent->GetUid().reused() > 0;
+  });
+  EXPECT_TRUE(saw_recycled_uid);
+}
+
+TEST(CellSortingModelTest, TypesSortOverTime) {
+  Simulation sim("test", TestParam());
+  models::cell_sorting::Config config;
+  config.num_cells = 600;
+  config.space = 90;  // dense contact
+  models::cell_sorting::Build(&sim, config);
+  const real_t before = models::cell_sorting::SortingIndex(&sim, 12);
+  sim.Simulate(150);
+  const real_t after = models::cell_sorting::SortingIndex(&sim, 12);
+  EXPECT_NEAR(before, 0.5, 0.1);
+  EXPECT_GT(after, before + 0.03);
+}
+
+TEST(NeuroscienceModelTest, AgentsGrowAndStaticRegionsAppear) {
+  Param param = TestParam();
+  param.detect_static_agents = true;
+  Simulation sim("test", param);
+  models::neuroscience::Config config;
+  config.num_neurons = 9;
+  models::neuroscience::Build(&sim, config);
+  const uint64_t before = sim.GetResourceManager()->GetNumAgents();
+  sim.Simulate(100);
+  EXPECT_GT(sim.GetResourceManager()->GetNumAgents(), before);
+  uint64_t num_static = 0;
+  sim.GetResourceManager()->ForEachAgent(
+      [&](Agent* a, AgentHandle) { num_static += a->IsStatic(); });
+  EXPECT_GT(num_static, 0u);
+}
+
+// --- registry ------------------------------------------------------------------
+
+TEST(RegistryTest, AllTableOneModelsPresent) {
+  const auto& models = models::AllModels();
+  ASSERT_EQ(models.size(), 6u);
+  EXPECT_EQ(models[0].name, "proliferation");
+  EXPECT_EQ(models[1].name, "clustering");
+  EXPECT_EQ(models[2].name, "epidemiology");
+  EXPECT_EQ(models[3].name, "neuroscience");
+  EXPECT_EQ(models[4].name, "oncology");
+  EXPECT_EQ(models[5].name, "cell_sorting");
+}
+
+TEST(RegistryTest, FindModelByName) {
+  EXPECT_NE(models::FindModel("oncology"), nullptr);
+  EXPECT_EQ(models::FindModel("nonexistent"), nullptr);
+}
+
+TEST(RegistryTest, Table1CharacteristicsMatchPaper) {
+  // Table 1 of the paper, row by row.
+  const auto* p = models::FindModel("proliferation");
+  EXPECT_TRUE(p->creates_agents);
+  EXPECT_FALSE(p->deletes_agents);
+  const auto* c = models::FindModel("clustering");
+  EXPECT_TRUE(c->uses_diffusion);
+  const auto* e = models::FindModel("epidemiology");
+  EXPECT_TRUE(e->load_imbalance);
+  EXPECT_TRUE(e->random_movement);
+  const auto* n = models::FindModel("neuroscience");
+  EXPECT_TRUE(n->creates_agents);
+  EXPECT_TRUE(n->modifies_neighbors);
+  EXPECT_TRUE(n->has_static_regions);
+  EXPECT_TRUE(n->uses_diffusion);
+  const auto* o = models::FindModel("oncology");
+  EXPECT_TRUE(o->creates_agents);
+  EXPECT_TRUE(o->deletes_agents);
+  EXPECT_TRUE(o->random_movement);
+  EXPECT_EQ(o->paper_iterations, 288);
+}
+
+class RegistrySmoke : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistrySmoke, EveryModelBuildsAndRunsTenIterations) {
+  const auto* info = models::FindModel(GetParam());
+  ASSERT_NE(info, nullptr);
+  Param param = TestParam();
+  if (info->configure != nullptr) {
+    info->configure(&param);
+  }
+  Simulation sim(info->name, param);
+  info->build(&sim, 300);
+  EXPECT_GT(sim.GetResourceManager()->GetNumAgents(), 0u);
+  sim.Simulate(10);
+  EXPECT_GT(sim.GetResourceManager()->GetNumAgents(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RegistrySmoke,
+                         ::testing::Values("proliferation", "clustering",
+                                           "epidemiology", "neuroscience",
+                                           "oncology", "cell_sorting"));
+
+class RegistryAllOptimizations : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegistryAllOptimizations, ModelsRunWithEveryOptimizationEnabled) {
+  const auto* info = models::FindModel(GetParam());
+  Param param;
+  param.num_threads = 4;
+  param.num_numa_domains = 2;
+  param.agent_sort_frequency = 3;
+  param.use_bdm_memory_manager = true;
+  param.sort_with_extra_memory = true;
+  if (info->configure != nullptr) {
+    info->configure(&param);
+  }
+  Simulation sim(info->name, param);
+  info->build(&sim, 300);
+  sim.Simulate(10);
+  EXPECT_GT(sim.GetResourceManager()->GetNumAgents(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, RegistryAllOptimizations,
+                         ::testing::Values("proliferation", "clustering",
+                                           "epidemiology", "neuroscience",
+                                           "oncology", "cell_sorting"));
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,182 @@
+#include "spatial/morton.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace bdm {
+namespace {
+
+TEST(MortonTest, EncodeOrigin) { EXPECT_EQ(MortonEncode3D(0, 0, 0), 0u); }
+
+TEST(MortonTest, EncodeUnitSteps) {
+  EXPECT_EQ(MortonEncode3D(1, 0, 0), 1u);
+  EXPECT_EQ(MortonEncode3D(0, 1, 0), 2u);
+  EXPECT_EQ(MortonEncode3D(0, 0, 1), 4u);
+  EXPECT_EQ(MortonEncode3D(1, 1, 1), 7u);
+}
+
+TEST(MortonTest, KnownCodes) {
+  // Hand-computed interleavings (x bit j -> code bit 3j, y -> 3j+1,
+  // z -> 3j+2).
+  EXPECT_EQ(MortonEncode3D(1, 1, 0), 3u);
+  EXPECT_EQ(MortonEncode3D(2, 0, 0), 8u);
+  EXPECT_EQ(MortonEncode3D(0, 2, 0), 16u);
+  EXPECT_EQ(MortonEncode3D(0, 0, 2), 32u);
+  EXPECT_EQ(MortonEncode3D(3, 3, 3), 63u);
+  EXPECT_EQ(MortonEncode3D(2, 1, 0), 10u);
+}
+
+TEST(MortonTest, RoundTripSmall) {
+  for (uint32_t x = 0; x < 8; ++x) {
+    for (uint32_t y = 0; y < 8; ++y) {
+      for (uint32_t z = 0; z < 8; ++z) {
+        uint32_t dx, dy, dz;
+        MortonDecode3D(MortonEncode3D(x, y, z), &dx, &dy, &dz);
+        ASSERT_EQ(dx, x);
+        ASSERT_EQ(dy, y);
+        ASSERT_EQ(dz, z);
+      }
+    }
+  }
+}
+
+class MortonRoundTrip : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(MortonRoundTrip, LargeCoordinates) {
+  const uint32_t v = GetParam();
+  uint32_t x, y, z;
+  MortonDecode3D(MortonEncode3D(v, v / 2, v / 3), &x, &y, &z);
+  EXPECT_EQ(x, v);
+  EXPECT_EQ(y, v / 2);
+  EXPECT_EQ(z, v / 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Coords, MortonRoundTrip,
+                         ::testing::Values(0u, 1u, 255u, 1024u, 65535u,
+                                           1048575u, 2097151u));
+
+TEST(MortonTest, CodesPreserveLocalityWithinOctants) {
+  // All codes of the lower octant [0,2)^3 precede all codes of any cell in
+  // the upper octant -- the defining property the sorting relies on.
+  uint64_t max_lower = 0;
+  for (uint32_t x = 0; x < 2; ++x) {
+    for (uint32_t y = 0; y < 2; ++y) {
+      for (uint32_t z = 0; z < 2; ++z) {
+        max_lower = std::max(max_lower, MortonEncode3D(x, y, z));
+      }
+    }
+  }
+  EXPECT_LT(max_lower, MortonEncode3D(2, 0, 0));
+  EXPECT_LT(max_lower, MortonEncode3D(0, 2, 0));
+  EXPECT_LT(max_lower, MortonEncode3D(0, 0, 2));
+}
+
+// --- gap algorithm -------------------------------------------------------------
+
+/// Brute-force reference: Morton codes of all in-space boxes, sorted.
+std::vector<uint64_t> BruteForceCodes(uint64_t nx, uint64_t ny, uint64_t nz) {
+  std::vector<uint64_t> codes;
+  for (uint32_t z = 0; z < nz; ++z) {
+    for (uint32_t y = 0; y < ny; ++y) {
+      for (uint32_t x = 0; x < nx; ++x) {
+        codes.push_back(MortonEncode3D(x, y, z));
+      }
+    }
+  }
+  std::sort(codes.begin(), codes.end());
+  return codes;
+}
+
+TEST(MortonGapTest, CubicPowerOfTwoHasSingleZeroGap) {
+  const auto gaps = CollectMortonGaps(4, 4, 4);
+  ASSERT_EQ(gaps.size(), 1u);
+  EXPECT_EQ(gaps[0].box_counter, 0u);
+  EXPECT_EQ(gaps[0].offset, 0u);
+}
+
+TEST(MortonGapTest, EmptyGridYieldsNoGaps) {
+  EXPECT_TRUE(CollectMortonGaps(0, 4, 4).empty());
+}
+
+TEST(MortonGapTest, PaperExample3x3) {
+  // The paper's Figure 3 example: a 3x3 grid inside a 4x4 cube (our 3D
+  // version with nz=1 reproduces it on the z=0 plane). The iterator must
+  // emit exactly the sorted in-space codes.
+  const uint64_t nx = 3, ny = 3, nz = 1;
+  const auto gaps = CollectMortonGaps(nx, ny, nz);
+  MortonIterator it(&gaps, nx * ny * nz);
+  const auto expected = BruteForceCodes(nx, ny, nz);
+  for (uint64_t code : expected) {
+    ASSERT_TRUE(it.HasNext());
+    EXPECT_EQ(it.Next(), code);
+  }
+  EXPECT_FALSE(it.HasNext());
+}
+
+struct GridShape {
+  uint64_t nx, ny, nz;
+};
+
+class MortonGapProperty : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(MortonGapProperty, IteratorMatchesBruteForce) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto gaps = CollectMortonGaps(nx, ny, nz);
+  MortonIterator it(&gaps, nx * ny * nz);
+  const auto expected = BruteForceCodes(nx, ny, nz);
+  std::vector<uint64_t> actual;
+  while (it.HasNext()) {
+    actual.push_back(it.Next());
+  }
+  EXPECT_EQ(actual, expected);
+}
+
+TEST_P(MortonGapProperty, CodeOfRankMatchesSequentialIteration) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto gaps = CollectMortonGaps(nx, ny, nz);
+  const uint64_t n = nx * ny * nz;
+  MortonIterator sequential(&gaps, n);
+  MortonIterator random_access(&gaps, n);
+  for (uint64_t k = 0; k < n; ++k) {
+    ASSERT_EQ(random_access.CodeOfRank(k), sequential.Next()) << "rank " << k;
+  }
+}
+
+TEST_P(MortonGapProperty, SeekResumesMidSequence) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto gaps = CollectMortonGaps(nx, ny, nz);
+  const uint64_t n = nx * ny * nz;
+  const auto expected = BruteForceCodes(nx, ny, nz);
+  for (uint64_t start : {uint64_t{0}, n / 3, n / 2, n - 1}) {
+    MortonIterator it(&gaps, n);
+    it.Seek(start);
+    for (uint64_t k = start; k < std::min(start + 5, n); ++k) {
+      ASSERT_EQ(it.Next(), expected[k]);
+    }
+  }
+}
+
+TEST_P(MortonGapProperty, GapTableIsSortedAndCompact) {
+  const auto [nx, ny, nz] = GetParam();
+  const auto gaps = CollectMortonGaps(nx, ny, nz);
+  ASSERT_FALSE(gaps.empty());
+  EXPECT_EQ(gaps[0].box_counter, 0u);
+  for (size_t i = 1; i < gaps.size(); ++i) {
+    EXPECT_LT(gaps[i - 1].box_counter, gaps[i].box_counter);
+    EXPECT_LT(gaps[i - 1].offset, gaps[i].offset);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, MortonGapProperty,
+    ::testing::Values(GridShape{1, 1, 1}, GridShape{2, 2, 2}, GridShape{3, 3, 1},
+                      GridShape{3, 3, 3}, GridShape{5, 3, 2}, GridShape{1, 7, 1},
+                      GridShape{8, 8, 8}, GridShape{9, 1, 1}, GridShape{6, 10, 3},
+                      GridShape{17, 5, 11}, GridShape{16, 16, 1},
+                      GridShape{31, 2, 7}));
+
+}  // namespace
+}  // namespace bdm

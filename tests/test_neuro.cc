@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "models/neuroscience.h"
+#include "neuro/growth_behaviors.h"
+#include "neuro/neurite_element.h"
+#include "neuro/neuron_soma.h"
+
+namespace bdm {
+namespace {
+
+Param NeuroParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  param.detect_static_agents = true;
+  return param;
+}
+
+TEST(NeuriteElementTest, ExtendNewNeuriteAttachesAtSomaSurface) {
+  Simulation sim("test", NeuroParam());
+  auto* soma = new neuro::NeuronSoma({0, 0, 0}, 12);
+  sim.GetResourceManager()->AddAgent(soma);
+  auto* ctx = sim.GetActiveExecutionContext();
+  auto* neurite = soma->ExtendNewNeurite(ctx, {0, 0, 1});
+  ASSERT_NE(neurite, nullptr);
+  EXPECT_NEAR(neurite->GetPosition().z, 6 + 0.5, 1e-9);
+  EXPECT_EQ(neurite->GetMother().Get(), soma);
+  EXPECT_TRUE(neurite->IsTerminal());
+  EXPECT_EQ(soma->GetDaughters().size(), 1u);
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+  EXPECT_EQ(sim.GetResourceManager()->GetNumAgents(), 2u);
+}
+
+TEST(NeuriteElementTest, ElongationIncreasesLengthTowardDirection) {
+  Simulation sim("test", NeuroParam());
+  auto* soma = new neuro::NeuronSoma({0, 0, 0}, 12);
+  sim.GetResourceManager()->AddAgent(soma);
+  auto* ctx = sim.GetActiveExecutionContext();
+  auto* neurite = soma->ExtendNewNeurite(ctx, {0, 0, 1});
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+  const real_t len_before = neurite->GetActualLength();
+  const real_t z_before = neurite->GetPosition().z;
+  neurite->ElongateTerminalEnd(50, {0, 0, 1}, 0.01);
+  EXPECT_NEAR(neurite->GetActualLength(), len_before + 0.5, 1e-9);
+  EXPECT_GT(neurite->GetPosition().z, z_before);
+}
+
+TEST(NeuriteElementTest, ProlongToDaughterFreezesMother) {
+  Simulation sim("test", NeuroParam());
+  auto* soma = new neuro::NeuronSoma({0, 0, 0}, 12);
+  sim.GetResourceManager()->AddAgent(soma);
+  auto* ctx = sim.GetActiveExecutionContext();
+  auto* neurite = soma->ExtendNewNeurite(ctx, {0, 0, 1});
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+  auto* tip = neurite->ProlongToDaughter(ctx);
+  ASSERT_NE(tip, nullptr);
+  EXPECT_FALSE(neurite->IsTerminal());
+  EXPECT_TRUE(tip->IsTerminal());
+  EXPECT_EQ(tip->GetMother().GetUid(), neurite->GetUid());
+  // Prolonging a non-terminal element is rejected.
+  EXPECT_EQ(neurite->ProlongToDaughter(ctx), nullptr);
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+}
+
+TEST(NeuriteElementTest, BifurcationCreatesTwoDivergingDaughters) {
+  Simulation sim("test", NeuroParam());
+  auto* soma = new neuro::NeuronSoma({0, 0, 0}, 12);
+  sim.GetResourceManager()->AddAgent(soma);
+  auto* ctx = sim.GetActiveExecutionContext();
+  auto* neurite = soma->ExtendNewNeurite(ctx, {0, 0, 1});
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+  neuro::NeuriteElement* left = nullptr;
+  neuro::NeuriteElement* right = nullptr;
+  neurite->Bifurcate(ctx, 0.5, ctx->random(), &left, &right);
+  ASSERT_NE(left, nullptr);
+  ASSERT_NE(right, nullptr);
+  EXPECT_EQ(left->GetBranchOrder(), neurite->GetBranchOrder() + 1);
+  // Both daughters diverge from the mother axis by the same angle.
+  const real_t cos_l = left->GetSpringAxis().Dot(neurite->GetSpringAxis());
+  const real_t cos_r = right->GetSpringAxis().Dot(neurite->GetSpringAxis());
+  EXPECT_NEAR(cos_l, std::cos(0.5), 1e-6);
+  EXPECT_NEAR(cos_r, std::cos(0.5), 1e-6);
+  // And they are distinct directions.
+  EXPECT_LT(left->GetSpringAxis().Dot(right->GetSpringAxis()), 1 - 1e-6);
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+}
+
+TEST(NeuriteElementTest, DisplacementRecomputesSpringAxis) {
+  Simulation sim("test", NeuroParam());
+  auto* soma = new neuro::NeuronSoma({0, 0, 0}, 12);
+  sim.GetResourceManager()->AddAgent(soma);
+  auto* ctx = sim.GetActiveExecutionContext();
+  auto* neurite = soma->ExtendNewNeurite(ctx, {0, 0, 1});
+  sim.GetResourceManager()->Commit(sim.GetAllExecutionContexts());
+  const Real3 proximal = neurite->GetProximalEnd();
+  Param param = sim.GetParam();
+  neurite->ApplyDisplacement({0.3, 0, 0}, param);
+  EXPECT_NEAR(neurite->GetProximalEnd().Distance(proximal), 0, 1e-9);
+  EXPECT_NEAR(neurite->GetSpringAxis().Norm(), 1, 1e-9);
+  EXPECT_GT(neurite->GetActualLength(), 0.5);
+}
+
+TEST(GrowthConeTest, TreeGrowsOverIterations) {
+  Simulation sim("test", NeuroParam());
+  models::neuroscience::Config config;
+  config.num_neurons = 4;
+  config.with_substance = false;
+  models::neuroscience::Build(&sim, config);
+  const auto before = models::neuroscience::ComputeTreeStats(&sim);
+  EXPECT_EQ(before.somata, 4u);
+  EXPECT_EQ(before.elements, 8u);  // 2 initial neurites per soma
+  sim.Simulate(60);
+  const auto after = models::neuroscience::ComputeTreeStats(&sim);
+  EXPECT_GT(after.elements, before.elements);
+  EXPECT_GE(after.terminals, 8u);
+  EXPECT_EQ(after.somata, 4u);
+}
+
+TEST(GrowthConeTest, InteriorElementsBecomeStatic) {
+  Simulation sim("test", NeuroParam());
+  models::neuroscience::Config config;
+  config.num_neurons = 4;
+  config.with_substance = false;
+  config.growth.branch_probability = 0;  // pure chains, no branching noise
+  models::neuroscience::Build(&sim, config);
+  sim.Simulate(120);
+  uint64_t static_interior = 0;
+  uint64_t interior = 0;
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    auto* neurite = dynamic_cast<neuro::NeuriteElement*>(agent);
+    if (neurite != nullptr && !neurite->IsTerminal()) {
+      ++interior;
+      static_interior += neurite->IsStatic();
+    }
+  });
+  ASSERT_GT(interior, 0u);
+  // The trail behind the growth front must be (mostly) asleep.
+  EXPECT_GT(static_interior, interior / 2);
+}
+
+TEST(GrowthConeTest, GrowthConeCountEqualsTerminalCount) {
+  Simulation sim("test", NeuroParam());
+  models::neuroscience::Config config;
+  config.num_neurons = 4;
+  config.with_substance = false;
+  models::neuroscience::Build(&sim, config);
+  sim.Simulate(80);
+  uint64_t cones = 0;
+  uint64_t terminals = 0;
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    auto* neurite = dynamic_cast<neuro::NeuriteElement*>(agent);
+    if (neurite == nullptr) {
+      return;
+    }
+    terminals += neurite->IsTerminal();
+    cones += !neurite->GetAllBehaviors().empty();
+  });
+  EXPECT_EQ(cones, terminals);
+}
+
+TEST(GrowthConeTest, TreeSurvivesAgentSorting) {
+  Param param = NeuroParam();
+  param.agent_sort_frequency = 5;
+  param.use_bdm_memory_manager = true;
+  Simulation sim("test", param);
+  models::neuroscience::Config config;
+  config.num_neurons = 4;
+  config.with_substance = false;
+  models::neuroscience::Build(&sim, config);
+  sim.Simulate(40);
+  // All mother links must still resolve after repeated sorting copies.
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    auto* neurite = dynamic_cast<neuro::NeuriteElement*>(agent);
+    if (neurite != nullptr) {
+      EXPECT_NE(neurite->GetMother().Get(), nullptr);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,139 @@
+#include "accel/offload_displacement_op.h"
+
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "models/neuroscience.h"
+#include "physics/interaction_force.h"
+
+namespace bdm {
+namespace {
+
+Param SmallParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  return param;
+}
+
+/// Swaps the default per-agent mechanical forces for the offload op.
+void UseOffload(Simulation* sim) {
+  sim->GetScheduler()->RemoveOp("mechanical_forces");
+  // Post ops run after the agent loop; displacement becomes the first one.
+  auto op = std::make_unique<accel::OffloadDisplacementOp>();
+  sim->GetScheduler()->AppendPostOp(std::move(op));
+}
+
+TEST(OffloadDisplacementTest, OverlappingPairSeparates) {
+  Simulation sim("offload", SmallParam());
+  UseOffload(&sim);
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({6, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  const real_t gap_before = a->GetPosition().Distance(b->GetPosition());
+  sim.Simulate(20);
+  const real_t gap_after = a->GetPosition().Distance(b->GetPosition());
+  EXPECT_GT(gap_after, gap_before);
+}
+
+TEST(OffloadDisplacementTest, PairForceMatchesInteractionForce) {
+  // One step on an isolated pair: the SoA kernel must produce exactly the
+  // displacement the scalar InteractionForce implies (Jacobi and
+  // Gauss-Seidel agree for the first mover of a pair).
+  Simulation sim("offload", SmallParam());
+  UseOffload(&sim);
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({8, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  const Real3 expected_force =
+      sim.GetInteractionForce()->Calculate(a, b);  // before anything moves
+  const Param& param = sim.GetParam();
+  const Real3 expected_displacement =
+      expected_force * (param.dt / param.viscosity);
+  const Real3 a_before = a->GetPosition();
+  sim.Simulate(1);
+  const Real3 moved = a->GetPosition() - a_before;
+  EXPECT_NEAR(moved.x, expected_displacement.x, 1e-12);
+  EXPECT_NEAR(moved.y, expected_displacement.y, 1e-12);
+  EXPECT_NEAR(moved.z, expected_displacement.z, 1e-12);
+}
+
+TEST(OffloadDisplacementTest, JacobiUpdateIsSymmetricForAPair) {
+  // Unlike the in-place default, the offload kernel computes all forces
+  // from the same snapshot, so a symmetric pair moves symmetrically.
+  Simulation sim("offload", SmallParam());
+  UseOffload(&sim);
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({8, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(1);
+  EXPECT_NEAR(a->GetPosition().x + b->GetPosition().x, 8.0, 1e-12);
+}
+
+TEST(OffloadDisplacementTest, RelaxationMatchesDefaultOpQualitatively) {
+  // Both schemes must reach the same equilibrium structure: no residual
+  // overlaps beyond the force threshold after enough iterations.
+  auto run = [](bool offload) {
+    Param param = SmallParam();
+    Simulation sim("offload", param);
+    if (offload) {
+      UseOffload(&sim);
+    }
+    Random init(5);
+    auto* rm = sim.GetResourceManager();
+    for (int i = 0; i < 100; ++i) {
+      rm->AddAgent(new Cell(init.UniformPoint(0, 60), 10));
+    }
+    sim.Simulate(300);
+    // Measure the worst residual overlap.
+    real_t worst = 0;
+    rm->ForEachAgent([&](Agent* x, AgentHandle) {
+      rm->ForEachAgent([&](Agent* y, AgentHandle) {
+        if (x == y) {
+          return;
+        }
+        const real_t d = x->GetPosition().Distance(y->GetPosition());
+        worst = std::max(worst, (x->GetDiameter() + y->GetDiameter()) / 2 - d);
+      });
+    });
+    return worst;
+  };
+  const real_t default_overlap = run(false);
+  const real_t offload_overlap = run(true);
+  // Both relax the packing to comparable residual overlap.
+  EXPECT_NEAR(offload_overlap, default_overlap, 2.0);
+}
+
+TEST(OffloadDisplacementTest, NonSphericalPopulationFallsBack) {
+  // A neuroscience population contains cylinders; the offload op must fall
+  // back to the per-agent path and still advance the simulation.
+  Param param = SmallParam();
+  Simulation sim("offload", param);
+  models::neuroscience::Config config;
+  config.num_neurons = 4;
+  config.with_substance = false;
+  models::neuroscience::Build(&sim, config);
+  UseOffload(&sim);
+  const auto before = models::neuroscience::ComputeTreeStats(&sim);
+  sim.Simulate(40);
+  const auto after = models::neuroscience::ComputeTreeStats(&sim);
+  EXPECT_GT(after.elements, before.elements);
+}
+
+TEST(OffloadDisplacementTest, EmptySimulationIsSafe) {
+  Simulation sim("offload", SmallParam());
+  UseOffload(&sim);
+  sim.Simulate(3);
+  EXPECT_EQ(sim.GetResourceManager()->GetNumAgents(), 0u);
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,144 @@
+// HertzianForce, SimulateUntil, and the extra Random distributions.
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "math/random.h"
+#include "models/common_behaviors.h"
+#include "physics/hertzian_force.h"
+
+namespace bdm {
+namespace {
+
+// --- HertzianForce --------------------------------------------------------------
+
+TEST(HertzianForceTest, OverlapRepels) {
+  HertzianForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell b({8, 0, 0}, 10);
+  EXPECT_GT(force.Calculate(&a, &b).Dot({-1, 0, 0}), 0);
+}
+
+TEST(HertzianForceTest, SuperlinearInOverlap) {
+  // Hertz scaling: doubling the overlap must more than double the force.
+  HertzianForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell shallow({9, 0, 0}, 10);  // overlap 1
+  Cell deep({8, 0, 0}, 10);     // overlap 2
+  const real_t f1 = force.Calculate(&a, &shallow).Norm();
+  const real_t f2 = force.Calculate(&a, &deep).Norm();
+  EXPECT_NEAR(f2 / f1, std::pow(2.0, 1.5), 1e-9);
+}
+
+TEST(HertzianForceTest, AdhesiveTailPullsAndDecays) {
+  HertzianForce force;
+  Cell a({0, 0, 0}, 10);
+  Cell near({10.5, 0, 0}, 10);
+  Cell far({12.0, 0, 0}, 10);
+  const Real3 f_near = force.Calculate(&a, &near);
+  EXPECT_GT(f_near.Dot({1, 0, 0}), 0);  // pulls toward the neighbor
+  EXPECT_GT(f_near.Norm(), force.Calculate(&a, &far).Norm());
+}
+
+TEST(HertzianForceTest, NewtonsThirdLaw) {
+  HertzianForce force;
+  Cell a({1, 2, 3}, 12);
+  Cell b({7, -1, 5}, 9);
+  EXPECT_NEAR((force.Calculate(&a, &b) + force.Calculate(&b, &a)).Norm(), 0,
+              1e-12);
+}
+
+TEST(HertzianForceTest, EngineRunsWithHertzianForce) {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  Simulation sim("hertz", param);
+  sim.SetInteractionForce(std::make_unique<HertzianForce>());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({7, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  const real_t gap_before = a->GetPosition().Distance(b->GetPosition());
+  sim.Simulate(50);
+  EXPECT_GT(a->GetPosition().Distance(b->GetPosition()), gap_before);
+}
+
+// --- SimulateUntil ---------------------------------------------------------------
+
+TEST(SimulateUntilTest, StopsWhenPredicateFires) {
+  Param param;
+  param.num_threads = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  Simulation sim("until", param);
+  auto* cell = new Cell({0, 0, 0}, 8);
+  cell->AddBehavior(new models::GrowDivide(4000, 16));
+  sim.GetResourceManager()->AddAgent(cell);
+  const uint64_t executed = sim.GetScheduler()->SimulateUntil(
+      [](Simulation* s) { return s->GetResourceManager()->GetNumAgents() >= 4; },
+      10000);
+  EXPECT_GE(sim.GetResourceManager()->GetNumAgents(), 4u);
+  EXPECT_EQ(sim.GetScheduler()->GetSimulatedIterations(), executed);
+}
+
+TEST(SimulateUntilTest, RespectsMaxIterations) {
+  Param param;
+  param.num_threads = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  Simulation sim("until", param);
+  sim.GetResourceManager()->AddAgent(new Cell({0, 0, 0}, 8));
+  const uint64_t executed = sim.GetScheduler()->SimulateUntil(
+      [](Simulation*) { return false; }, 7);
+  EXPECT_EQ(executed, 7u);
+}
+
+TEST(SimulateUntilTest, ImmediatelyTruePredicateRunsNothing) {
+  Param param;
+  param.num_threads = 1;
+  param.use_bdm_memory_manager = false;
+  Simulation sim("until", param);
+  EXPECT_EQ(sim.GetScheduler()->SimulateUntil([](Simulation*) { return true; }),
+            0u);
+}
+
+// --- Random extras ----------------------------------------------------------------
+
+TEST(RandomExtraTest, ExponentialMeanMatchesRate) {
+  Random r(99);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) {
+    const real_t v = r.Exponential(0.5);
+    ASSERT_GE(v, 0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);  // mean = 1/rate
+}
+
+TEST(RandomExtraTest, PoissonMeanAndVariance) {
+  Random r(101);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const auto v = static_cast<double>(r.Poisson(3.0));
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(sum2 / n - mean * mean, 3.0, 0.1);  // variance == mean
+}
+
+TEST(RandomExtraTest, PoissonZeroMeanIsZero) {
+  Random r(1);
+  EXPECT_EQ(r.Poisson(0), 0u);
+  EXPECT_EQ(r.Poisson(-1), 0u);
+}
+
+}  // namespace
+}  // namespace bdm

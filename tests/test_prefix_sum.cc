@@ -1,0 +1,85 @@
+#include "parallel/prefix_sum.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+#include <vector>
+
+namespace bdm {
+namespace {
+
+TEST(PrefixSumTest, EmptyVector) {
+  NumaThreadPool pool(Topology(4, 2));
+  std::vector<int64_t> data;
+  InclusivePrefixSum(&data, &pool);
+  EXPECT_TRUE(data.empty());
+  EXPECT_EQ(ExclusivePrefixSum(&data, &pool), 0);
+}
+
+TEST(PrefixSumTest, SingleElement) {
+  NumaThreadPool pool(Topology(4, 2));
+  std::vector<int64_t> data = {7};
+  InclusivePrefixSum(&data, &pool);
+  EXPECT_EQ(data, (std::vector<int64_t>{7}));
+}
+
+TEST(PrefixSumTest, SmallKnownInput) {
+  NumaThreadPool pool(Topology(2, 1));
+  std::vector<int64_t> data = {1, 2, 3, 4, 5};
+  InclusivePrefixSum(&data, &pool);
+  EXPECT_EQ(data, (std::vector<int64_t>{1, 3, 6, 10, 15}));
+}
+
+TEST(PrefixSumTest, ExclusiveSmallKnownInput) {
+  NumaThreadPool pool(Topology(2, 1));
+  std::vector<int64_t> data = {1, 2, 3, 4, 5};
+  const int64_t total = ExclusivePrefixSum(&data, &pool);
+  EXPECT_EQ(total, 15);
+  EXPECT_EQ(data, (std::vector<int64_t>{0, 1, 3, 6, 10}));
+}
+
+TEST(PrefixSumTest, NullPoolFallsBackToSerial) {
+  std::vector<int64_t> data = {3, 1, 4, 1, 5};
+  InclusivePrefixSum(&data, nullptr);
+  EXPECT_EQ(data, (std::vector<int64_t>{3, 4, 8, 9, 14}));
+}
+
+class PrefixSumProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(PrefixSumProperty, InclusiveMatchesStdPartialSum) {
+  NumaThreadPool pool(Topology(4, 2));
+  std::mt19937_64 rng(GetParam());
+  std::vector<int64_t> data(GetParam());
+  for (auto& v : data) {
+    v = static_cast<int64_t>(rng() % 1000) - 500;
+  }
+  std::vector<int64_t> expected = data;
+  std::partial_sum(expected.begin(), expected.end(), expected.begin());
+  // Force the parallel path even for small inputs.
+  InclusivePrefixSum(&data, &pool, /*serial_cutoff=*/0);
+  EXPECT_EQ(data, expected);
+}
+
+TEST_P(PrefixSumProperty, ExclusiveMatchesStdExclusiveScan) {
+  NumaThreadPool pool(Topology(3, 3));
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  std::vector<int64_t> data(GetParam());
+  for (auto& v : data) {
+    v = static_cast<int64_t>(rng() % 1000);
+  }
+  std::vector<int64_t> expected(data.size());
+  std::exclusive_scan(data.begin(), data.end(), expected.begin(), int64_t{0});
+  const int64_t expected_total =
+      std::accumulate(data.begin(), data.end(), int64_t{0});
+  const int64_t total = ExclusivePrefixSum(&data, &pool, /*serial_cutoff=*/0);
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(data, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PrefixSumProperty,
+                         ::testing::Values(1, 2, 3, 5, 17, 100, 1000, 4096,
+                                           65537, 200000));
+
+}  // namespace
+}  // namespace bdm

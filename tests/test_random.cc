@@ -1,0 +1,159 @@
+#include "math/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bdm {
+namespace {
+
+TEST(RandomTest, DeterministicForSameSeed) {
+  Random a(42);
+  Random b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Integer(), b.Integer());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiverge) {
+  Random a(1);
+  Random b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    equal += a.Integer() == b.Integer();
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RandomTest, ReseedReproduces) {
+  Random a(7);
+  const uint64_t first = a.Integer();
+  a.Integer();
+  a.Seed(7);
+  EXPECT_EQ(a.Integer(), first);
+}
+
+TEST(RandomTest, UniformInUnitInterval) {
+  Random r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t v = r.Uniform();
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1);
+  }
+}
+
+TEST(RandomTest, UniformRangeRespected) {
+  Random r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const real_t v = r.Uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LT(v, 17);
+  }
+}
+
+TEST(RandomTest, UniformMeanIsCentered) {
+  Random r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.Uniform();
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RandomTest, BoundedIntegerInRange) {
+  Random r(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.Integer(13), 13u);
+  }
+}
+
+TEST(RandomTest, BoundedIntegerCoversAllValues) {
+  Random r(5);
+  bool seen[7] = {};
+  for (int i = 0; i < 1000; ++i) {
+    seen[r.Integer(7)] = true;
+  }
+  for (bool s : seen) {
+    EXPECT_TRUE(s);
+  }
+}
+
+TEST(RandomTest, GaussianMoments) {
+  Random r(17);
+  const int n = 200000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const real_t v = r.Gaussian(2.0, 3.0);
+    sum += v;
+    sum2 += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RandomTest, UnitVectorHasUnitNorm) {
+  Random r(23);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(r.UnitVector().Norm(), 1.0, 1e-12);
+  }
+}
+
+TEST(RandomTest, UnitVectorIsIsotropic) {
+  Random r(29);
+  Real3 sum{};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    sum += r.UnitVector();
+  }
+  // The mean direction of an isotropic distribution tends to zero.
+  EXPECT_LT((sum / n).Norm(), 0.02);
+}
+
+TEST(RandomTest, UniformPointInsideCube) {
+  Random r(31);
+  for (int i = 0; i < 1000; ++i) {
+    const Real3 p = r.UniformPoint(-2, 9);
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_GE(p[c], -2);
+      EXPECT_LT(p[c], 9);
+    }
+  }
+}
+
+TEST(RandomTest, BoolProbability) {
+  Random r(37);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    hits += r.Bool(0.3);
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+class RandomSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSeedSweep, UniformStaysInRangeForAnySeed) {
+  Random r(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    const real_t v = r.Uniform();
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 1);
+  }
+}
+
+TEST_P(RandomSeedSweep, GaussianIsFiniteForAnySeed) {
+  Random r(GetParam());
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(std::isfinite(r.Gaussian()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSeedSweep,
+                         ::testing::Values(0, 1, 2, 42, 4357, 0xDEADBEEF,
+                                           ~uint64_t{0}));
+
+}  // namespace
+}  // namespace bdm

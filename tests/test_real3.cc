@@ -1,0 +1,128 @@
+#include "math/real3.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace bdm {
+namespace {
+
+TEST(Real3Test, DefaultIsZero) {
+  Real3 v;
+  EXPECT_EQ(v.x, 0);
+  EXPECT_EQ(v.y, 0);
+  EXPECT_EQ(v.z, 0);
+}
+
+TEST(Real3Test, IndexOperatorMatchesMembers) {
+  Real3 v{1, 2, 3};
+  EXPECT_EQ(v[0], 1);
+  EXPECT_EQ(v[1], 2);
+  EXPECT_EQ(v[2], 3);
+  v[1] = 7;
+  EXPECT_EQ(v.y, 7);
+}
+
+TEST(Real3Test, Addition) {
+  const Real3 a{1, 2, 3};
+  const Real3 b{4, 5, 6};
+  EXPECT_EQ(a + b, (Real3{5, 7, 9}));
+}
+
+TEST(Real3Test, Subtraction) {
+  const Real3 a{4, 5, 6};
+  const Real3 b{1, 2, 3};
+  EXPECT_EQ(a - b, (Real3{3, 3, 3}));
+}
+
+TEST(Real3Test, ScalarMultiplicationBothSides) {
+  const Real3 a{1, -2, 3};
+  EXPECT_EQ(a * 2, (Real3{2, -4, 6}));
+  EXPECT_EQ(2 * a, (Real3{2, -4, 6}));
+}
+
+TEST(Real3Test, ScalarDivision) {
+  const Real3 a{2, 4, 8};
+  EXPECT_EQ(a / 2, (Real3{1, 2, 4}));
+}
+
+TEST(Real3Test, Negation) {
+  const Real3 a{1, -2, 3};
+  EXPECT_EQ(-a, (Real3{-1, 2, -3}));
+}
+
+TEST(Real3Test, CompoundOperators) {
+  Real3 a{1, 1, 1};
+  a += {1, 2, 3};
+  EXPECT_EQ(a, (Real3{2, 3, 4}));
+  a -= {1, 1, 1};
+  EXPECT_EQ(a, (Real3{1, 2, 3}));
+  a *= 3;
+  EXPECT_EQ(a, (Real3{3, 6, 9}));
+  a /= 3;
+  EXPECT_EQ(a, (Real3{1, 2, 3}));
+}
+
+TEST(Real3Test, DotProduct) {
+  const Real3 a{1, 2, 3};
+  const Real3 b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(a.Dot(b), 4 - 10 + 18);
+}
+
+TEST(Real3Test, CrossProductOrthogonality) {
+  const Real3 a{1, 2, 3};
+  const Real3 b{-4, 5, 6};
+  const Real3 c = a.Cross(b);
+  EXPECT_NEAR(c.Dot(a), 0, 1e-12);
+  EXPECT_NEAR(c.Dot(b), 0, 1e-12);
+}
+
+TEST(Real3Test, CrossProductRightHandRule) {
+  const Real3 x{1, 0, 0};
+  const Real3 y{0, 1, 0};
+  EXPECT_EQ(x.Cross(y), (Real3{0, 0, 1}));
+}
+
+TEST(Real3Test, NormAndSquaredNorm) {
+  const Real3 a{3, 4, 12};
+  EXPECT_DOUBLE_EQ(a.SquaredNorm(), 169);
+  EXPECT_DOUBLE_EQ(a.Norm(), 13);
+}
+
+TEST(Real3Test, NormalizedHasUnitLength) {
+  const Real3 a{3, -4, 12};
+  EXPECT_NEAR(a.Normalized().Norm(), 1.0, 1e-12);
+}
+
+TEST(Real3Test, NormalizedZeroVectorStaysZero) {
+  const Real3 zero{};
+  EXPECT_EQ(zero.Normalized(), zero);
+}
+
+TEST(Real3Test, Distance) {
+  const Real3 a{1, 1, 1};
+  const Real3 b{4, 5, 1};
+  EXPECT_DOUBLE_EQ(a.Distance(b), 5);
+  EXPECT_DOUBLE_EQ(a.SquaredDistance(b), 25);
+}
+
+TEST(Real3Test, PerpendicularIsOrthogonalAndUnit) {
+  const Real3 dirs[] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+                        {1, 1, 1}, {-3, 2, 0.5}, {0.1, -0.2, 5}};
+  for (const Real3& d : dirs) {
+    const Real3 p = Perpendicular(d);
+    EXPECT_NEAR(p.Dot(d), 0, 1e-9) << d;
+    EXPECT_NEAR(p.Norm(), 1, 1e-9) << d;
+  }
+}
+
+TEST(Real3Test, PackedLayout) {
+  static_assert(sizeof(Real3) == 3 * sizeof(real_t));
+  Real3 arr[2] = {{1, 2, 3}, {4, 5, 6}};
+  const real_t* flat = &arr[0].x;
+  EXPECT_EQ(flat[3], 4);
+  EXPECT_EQ(flat[5], 6);
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,357 @@
+#include "core/resource_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "core/cell.h"
+
+namespace bdm {
+namespace {
+
+class ResourceManagerTest : public ::testing::Test {
+ protected:
+  void Init(int threads, int domains, bool parallel_commit = true) {
+    param_.num_threads = threads;
+    param_.num_numa_domains = domains;
+    param_.parallel_commit = parallel_commit;
+    param_.iteration_block_size = 16;  // small blocks stress the partitioner
+    pool_ = std::make_unique<NumaThreadPool>(Topology(threads, domains));
+    rm_ = std::make_unique<ResourceManager>(param_, pool_.get(), &gen_);
+    contexts_.clear();
+    context_ptrs_.clear();
+    for (int slot = 0; slot < threads + 1; ++slot) {
+      const int domain =
+          slot == 0 ? 0 : pool_->topology().DomainOfThread(slot - 1);
+      contexts_.push_back(
+          std::make_unique<ExecutionContext>(domain, slot + 1, &gen_));
+      context_ptrs_.push_back(contexts_.back().get());
+    }
+  }
+
+  Cell* AddCell(const Real3& pos = {}, real_t diameter = 10) {
+    auto* cell = new Cell(pos, diameter);
+    rm_->AddAgent(cell);
+    return cell;
+  }
+
+  std::set<AgentUid> LiveUids() const {
+    std::set<AgentUid> uids;
+    rm_->ForEachAgent(
+        [&](Agent* agent, AgentHandle) { uids.insert(agent->GetUid()); });
+    return uids;
+  }
+
+  Param param_;
+  AgentUidGenerator gen_;
+  std::unique_ptr<NumaThreadPool> pool_;
+  std::unique_ptr<ResourceManager> rm_;
+  std::vector<std::unique_ptr<ExecutionContext>> contexts_;
+  std::vector<ExecutionContext*> context_ptrs_;
+};
+
+TEST_F(ResourceManagerTest, StartsEmpty) {
+  Init(2, 1);
+  EXPECT_EQ(rm_->GetNumAgents(), 0u);
+}
+
+TEST_F(ResourceManagerTest, AddAssignsUidAndHandle) {
+  Init(2, 1);
+  Cell* cell = AddCell();
+  EXPECT_TRUE(cell->GetUid().IsValid());
+  EXPECT_EQ(rm_->GetAgent(cell->GetUid()), cell);
+  const AgentHandle handle = rm_->GetAgentHandle(cell->GetUid());
+  EXPECT_TRUE(handle.IsValid());
+  EXPECT_EQ(rm_->GetAgent(handle), cell);
+}
+
+TEST_F(ResourceManagerTest, RoundRobinSpreadsOverDomains) {
+  Init(4, 2);
+  for (int i = 0; i < 10; ++i) {
+    AddCell();
+  }
+  EXPECT_EQ(rm_->GetNumAgents(0), 5u);
+  EXPECT_EQ(rm_->GetNumAgents(1), 5u);
+}
+
+TEST_F(ResourceManagerTest, UnknownUidReturnsNull) {
+  Init(1, 1);
+  EXPECT_EQ(rm_->GetAgent(AgentUid(99)), nullptr);
+  EXPECT_EQ(rm_->GetAgent(AgentUid{}), nullptr);
+  EXPECT_FALSE(rm_->GetAgentHandle(AgentUid(99)).IsValid());
+}
+
+TEST_F(ResourceManagerTest, ForEachAgentVisitsAll) {
+  Init(3, 2);
+  std::set<Agent*> added;
+  for (int i = 0; i < 25; ++i) {
+    added.insert(AddCell());
+  }
+  std::set<Agent*> visited;
+  rm_->ForEachAgent([&](Agent* a, AgentHandle h) {
+    visited.insert(a);
+    EXPECT_EQ(rm_->GetAgent(h), a);
+  });
+  EXPECT_EQ(visited, added);
+}
+
+TEST_F(ResourceManagerTest, ForEachAgentParallelVisitsAllExactlyOnce) {
+  Init(4, 2);
+  const int n = 1000;
+  for (int i = 0; i < n; ++i) {
+    AddCell();
+  }
+  std::atomic<int> count{0};
+  rm_->ForEachAgentParallel([&](Agent*, AgentHandle, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), n);
+}
+
+TEST_F(ResourceManagerTest, ParallelIterationNonNumaAwareAlsoCovers) {
+  Init(4, 2);
+  param_.numa_aware_iteration = false;
+  for (int i = 0; i < 500; ++i) {
+    AddCell();
+  }
+  std::atomic<int> count{0};
+  rm_->ForEachAgentParallel([&](Agent*, AgentHandle, int) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 500);
+}
+
+TEST_F(ResourceManagerTest, CommitAdditions) {
+  Init(2, 2);
+  context_ptrs_[1]->AddAgent(new Cell({1, 0, 0}, 5));
+  context_ptrs_[2]->AddAgent(new Cell({2, 0, 0}, 5));
+  context_ptrs_[0]->AddAgent(new Cell({3, 0, 0}, 5));
+  const auto [added, removed] = rm_->Commit(context_ptrs_);
+  EXPECT_EQ(added, 3u);
+  EXPECT_EQ(removed, 0u);
+  EXPECT_EQ(rm_->GetNumAgents(), 3u);
+  // Additions land in the creating context's domain.
+  EXPECT_EQ(rm_->GetNumAgents(0), 2u);  // main ctx + worker 0 map to domain 0
+  EXPECT_EQ(rm_->GetNumAgents(1), 1u);
+}
+
+TEST_F(ResourceManagerTest, CommitAdditionRegistersUidMap) {
+  Init(2, 1);
+  auto* cell = new Cell({1, 2, 3}, 5);
+  context_ptrs_[0]->AddAgent(cell);
+  const AgentUid uid = cell->GetUid();
+  EXPECT_TRUE(uid.IsValid());  // uid assigned at AddAgent time
+  EXPECT_EQ(rm_->GetAgent(uid), nullptr);  // not committed yet
+  rm_->Commit(context_ptrs_);
+  EXPECT_EQ(rm_->GetAgent(uid), cell);
+}
+
+TEST_F(ResourceManagerTest, CommitRemovalsDropAgents) {
+  Init(2, 1);
+  std::vector<Cell*> cells;
+  for (int i = 0; i < 10; ++i) {
+    cells.push_back(AddCell());
+  }
+  context_ptrs_[0]->RemoveAgent(cells[3]->GetUid());
+  context_ptrs_[1]->RemoveAgent(cells[7]->GetUid());
+  const AgentUid removed_a = cells[3]->GetUid();
+  const AgentUid removed_b = cells[7]->GetUid();
+  const auto [added, removed] = rm_->Commit(context_ptrs_);
+  EXPECT_EQ(removed, 2u);
+  EXPECT_EQ(rm_->GetNumAgents(), 8u);
+  EXPECT_EQ(rm_->GetAgent(removed_a), nullptr);
+  EXPECT_EQ(rm_->GetAgent(removed_b), nullptr);
+}
+
+TEST_F(ResourceManagerTest, RemovalKeepsHandlesConsistent) {
+  Init(4, 2);
+  std::vector<Cell*> cells;
+  for (int i = 0; i < 100; ++i) {
+    cells.push_back(AddCell());
+  }
+  for (int i = 0; i < 100; i += 3) {
+    context_ptrs_[0]->RemoveAgent(cells[i]->GetUid());
+  }
+  rm_->Commit(context_ptrs_);
+  // Every surviving uid's handle must resolve back to the same agent.
+  rm_->ForEachAgent([&](Agent* agent, AgentHandle handle) {
+    EXPECT_EQ(rm_->GetAgentHandle(agent->GetUid()), handle);
+    EXPECT_EQ(rm_->GetAgent(agent->GetUid()), agent);
+  });
+}
+
+TEST_F(ResourceManagerTest, DuplicateRemovalIsIdempotent) {
+  Init(2, 1);
+  Cell* cell = AddCell();
+  AddCell();
+  context_ptrs_[0]->RemoveAgent(cell->GetUid());
+  context_ptrs_[1]->RemoveAgent(cell->GetUid());
+  const auto [added, removed] = rm_->Commit(context_ptrs_);
+  (void)added;
+  (void)removed;
+  EXPECT_EQ(rm_->GetNumAgents(), 1u);
+}
+
+TEST_F(ResourceManagerTest, AddAndRemoveSameIterationCancels) {
+  Init(2, 1);
+  AddCell();
+  auto* ephemeral = new Cell({5, 5, 5}, 5);
+  context_ptrs_[1]->AddAgent(ephemeral);
+  context_ptrs_[1]->RemoveAgent(ephemeral->GetUid());
+  rm_->Commit(context_ptrs_);
+  EXPECT_EQ(rm_->GetNumAgents(), 1u);
+}
+
+TEST_F(ResourceManagerTest, MixedAddRemoveCommit) {
+  Init(4, 2);
+  std::vector<Cell*> cells;
+  for (int i = 0; i < 50; ++i) {
+    cells.push_back(AddCell());
+  }
+  for (int i = 0; i < 20; ++i) {
+    context_ptrs_[i % context_ptrs_.size()]->RemoveAgent(cells[i]->GetUid());
+  }
+  for (int i = 0; i < 30; ++i) {
+    context_ptrs_[i % context_ptrs_.size()]->AddAgent(new Cell({}, 5));
+  }
+  rm_->Commit(context_ptrs_);
+  EXPECT_EQ(rm_->GetNumAgents(), 60u);
+}
+
+TEST_F(ResourceManagerTest, ReplaceAgentVectorsRebuildsUidMap) {
+  Init(2, 2);
+  std::vector<AgentUid> uids;
+  for (int i = 0; i < 20; ++i) {
+    uids.push_back(AddCell({static_cast<real_t>(i), 0, 0})->GetUid());
+  }
+  // Simulate the sorting step: copy everything into domain 1 in reverse.
+  std::vector<std::vector<Agent*>> new_vectors(2);
+  rm_->ForEachAgent([&](Agent* agent, AgentHandle) {
+    new_vectors[1].push_back(agent->NewCopy());
+  });
+  std::reverse(new_vectors[1].begin(), new_vectors[1].end());
+  std::vector<Agent*> old_agents;
+  rm_->ForEachAgent([&](Agent* a, AgentHandle) { old_agents.push_back(a); });
+  rm_->ReplaceAgentVectors(std::move(new_vectors));
+  for (Agent* old_agent : old_agents) {
+    delete old_agent;
+  }
+  EXPECT_EQ(rm_->GetNumAgents(), 20u);
+  EXPECT_EQ(rm_->GetNumAgents(1), 20u);
+  for (const AgentUid& uid : uids) {
+    // Pointers changed, uids survived.
+    Agent* current = rm_->GetAgent(uid);
+    ASSERT_NE(current, nullptr);
+    EXPECT_EQ(current->GetUid(), uid);
+  }
+}
+
+// --- property: parallel commit == serial commit -------------------------------
+
+struct CommitCase {
+  int threads;
+  int domains;
+  int initial;
+  uint32_t seed;
+};
+
+class CommitEquivalence : public ::testing::TestWithParam<CommitCase> {};
+
+TEST_P(CommitEquivalence, ParallelRemovalMatchesSerialReference) {
+  const CommitCase c = GetParam();
+  std::mt19937 rng(c.seed);
+  // Build the same initial population twice and apply the same removal
+  // mask through the serial and the parallel commit paths.
+  std::set<uint32_t> removed_positions;
+  const int num_removed = c.initial / 3;
+  while (static_cast<int>(removed_positions.size()) < num_removed) {
+    removed_positions.insert(rng() % c.initial);
+  }
+
+  auto run = [&](bool parallel) {
+    Param param;
+    param.num_threads = c.threads;
+    param.num_numa_domains = c.domains;
+    param.parallel_commit = parallel;
+    AgentUidGenerator gen;
+    NumaThreadPool pool(Topology(c.threads, c.domains));
+    ResourceManager rm(param, &pool, &gen);
+    std::vector<std::unique_ptr<ExecutionContext>> contexts;
+    std::vector<ExecutionContext*> ptrs;
+    for (int slot = 0; slot < c.threads + 1; ++slot) {
+      const int domain = slot == 0 ? 0 : pool.topology().DomainOfThread(slot - 1);
+      contexts.push_back(std::make_unique<ExecutionContext>(domain, 1, &gen));
+      ptrs.push_back(contexts.back().get());
+    }
+    std::vector<AgentUid> uids;
+    for (int i = 0; i < c.initial; ++i) {
+      auto* cell = new Cell({static_cast<real_t>(i), 0, 0}, 5);
+      rm.AddAgent(cell);
+      uids.push_back(cell->GetUid());
+    }
+    int slot = 0;
+    for (uint32_t pos : removed_positions) {
+      ptrs[slot % ptrs.size()]->RemoveAgent(uids[pos]);
+      ++slot;
+    }
+    rm.Commit(ptrs);
+    std::multiset<real_t> survivors;
+    rm.ForEachAgent([&](Agent* agent, AgentHandle) {
+      survivors.insert(agent->GetPosition().x);
+    });
+    return survivors;
+  };
+
+  EXPECT_EQ(run(true), run(false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, CommitEquivalence,
+    ::testing::Values(CommitCase{1, 1, 30, 1}, CommitCase{2, 1, 100, 2},
+                      CommitCase{4, 2, 100, 3}, CommitCase{4, 2, 1000, 4},
+                      CommitCase{8, 4, 1000, 5}, CommitCase{3, 3, 500, 6},
+                      CommitCase{4, 2, 10000, 7}));
+
+class RemovalStress : public ::testing::TestWithParam<double> {};
+
+TEST_P(RemovalStress, RemoveFractionPreservesSurvivors) {
+  const double fraction = GetParam();
+  Param param;
+  param.num_threads = 4;
+  param.num_numa_domains = 2;
+  AgentUidGenerator gen;
+  NumaThreadPool pool(Topology(4, 2));
+  ResourceManager rm(param, &pool, &gen);
+  std::vector<std::unique_ptr<ExecutionContext>> contexts;
+  std::vector<ExecutionContext*> ptrs;
+  for (int slot = 0; slot < 5; ++slot) {
+    const int domain = slot == 0 ? 0 : pool.topology().DomainOfThread(slot - 1);
+    contexts.push_back(std::make_unique<ExecutionContext>(domain, 1, &gen));
+    ptrs.push_back(contexts.back().get());
+  }
+  const int n = 5000;
+  std::vector<AgentUid> uids;
+  std::mt19937 rng(99);
+  for (int i = 0; i < n; ++i) {
+    auto* cell = new Cell({static_cast<real_t>(i), 0, 0}, 5);
+    rm.AddAgent(cell);
+    uids.push_back(cell->GetUid());
+  }
+  std::set<AgentUid> expected_survivors(uids.begin(), uids.end());
+  int slot = 0;
+  for (int i = 0; i < n; ++i) {
+    if (std::uniform_real_distribution<>(0, 1)(rng) < fraction) {
+      ptrs[slot++ % ptrs.size()]->RemoveAgent(uids[i]);
+      expected_survivors.erase(uids[i]);
+    }
+  }
+  rm.Commit(ptrs);
+  std::set<AgentUid> survivors;
+  rm.ForEachAgent(
+      [&](Agent* agent, AgentHandle) { survivors.insert(agent->GetUid()); });
+  EXPECT_EQ(survivors, expected_survivors);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, RemovalStress,
+                         ::testing::Values(0.0, 0.01, 0.1, 0.5, 0.9, 1.0));
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,147 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "models/common_behaviors.h"
+
+namespace bdm {
+namespace {
+
+Param SmallParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  return param;
+}
+
+class RecordingOp : public StandaloneOperation {
+ public:
+  RecordingOp(std::string name, int frequency, std::vector<std::string>* log)
+      : StandaloneOperation(std::move(name), frequency), log_(log) {}
+  void Run(Simulation*) override { log_->push_back(GetName()); }
+
+ private:
+  std::vector<std::string>* log_;
+};
+
+class RecordingAgentOp : public AgentOperation {
+ public:
+  RecordingAgentOp(std::string name, std::atomic<int>* counter)
+      : AgentOperation(std::move(name), 1), counter_(counter) {}
+  void Run(Agent*, AgentHandle, int, Simulation*) override {
+    counter_->fetch_add(1);
+  }
+
+ private:
+  std::atomic<int>* counter_;
+};
+
+TEST(SchedulerTest, DefaultPipelinePresent) {
+  Simulation sim("test", SmallParam());
+  auto* scheduler = sim.GetScheduler();
+  EXPECT_NE(scheduler->GetOp("environment_update"), nullptr);
+  EXPECT_NE(scheduler->GetOp("behaviors"), nullptr);
+  EXPECT_NE(scheduler->GetOp("mechanical_forces"), nullptr);
+  EXPECT_NE(scheduler->GetOp("commit"), nullptr);
+  EXPECT_NE(scheduler->GetOp("diffusion"), nullptr);
+  // Sorting disabled via frequency 0, staticness off by default.
+  EXPECT_EQ(scheduler->GetOp("load_balancing"), nullptr);
+  EXPECT_EQ(scheduler->GetOp("staticness"), nullptr);
+}
+
+TEST(SchedulerTest, SortingAndStaticnessOpsFollowParam) {
+  Param param = SmallParam();
+  param.agent_sort_frequency = 5;
+  param.detect_static_agents = true;
+  Simulation sim("test", param);
+  auto* scheduler = sim.GetScheduler();
+  ASSERT_NE(scheduler->GetOp("load_balancing"), nullptr);
+  EXPECT_EQ(scheduler->GetOp("load_balancing")->GetFrequency(), 5);
+  EXPECT_NE(scheduler->GetOp("staticness"), nullptr);
+}
+
+TEST(SchedulerTest, CustomPostOpRunsEveryIteration) {
+  Simulation sim("test", SmallParam());
+  std::vector<std::string> log;
+  sim.GetScheduler()->AppendPostOp(
+      std::make_unique<RecordingOp>("custom", 1, &log));
+  sim.Simulate(4);
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(SchedulerTest, FrequencyGatesExecution) {
+  Simulation sim("test", SmallParam());
+  std::vector<std::string> log;
+  sim.GetScheduler()->AppendPostOp(
+      std::make_unique<RecordingOp>("every3", 3, &log));
+  sim.Simulate(10);  // iterations 0..9; due at 0, 3, 6, 9
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(SchedulerTest, AgentOpRunsOncePerAgent) {
+  Simulation sim("test", SmallParam());
+  auto* rm = sim.GetResourceManager();
+  for (int i = 0; i < 37; ++i) {
+    rm->AddAgent(new Cell({static_cast<real_t>(i) * 20, 0, 0}, 10));
+  }
+  std::atomic<int> counter{0};
+  sim.GetScheduler()->AppendAgentOp(
+      std::make_unique<RecordingAgentOp>("probe", &counter));
+  sim.Simulate(2);
+  EXPECT_EQ(counter.load(), 2 * 37);
+}
+
+TEST(SchedulerTest, RemoveOpDisablesIt) {
+  Simulation sim("test", SmallParam());
+  std::vector<std::string> log;
+  sim.GetScheduler()->AppendPostOp(
+      std::make_unique<RecordingOp>("victim", 1, &log));
+  EXPECT_TRUE(sim.GetScheduler()->RemoveOp("victim"));
+  EXPECT_FALSE(sim.GetScheduler()->RemoveOp("victim"));
+  sim.Simulate(2);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(SchedulerTest, IterationCounterAccumulatesAcrossCalls) {
+  Simulation sim("test", SmallParam());
+  sim.Simulate(3);
+  sim.Simulate(4);
+  EXPECT_EQ(sim.GetScheduler()->GetSimulatedIterations(), 7u);
+}
+
+TEST(SchedulerTest, SetFrequencyClampsToOne) {
+  Simulation sim("test", SmallParam());
+  auto* op = sim.GetScheduler()->GetOp("commit");
+  ASSERT_NE(op, nullptr);
+  op->SetFrequency(0);
+  EXPECT_EQ(op->GetFrequency(), 1);
+  EXPECT_TRUE(op->IsDue(0));
+  EXPECT_TRUE(op->IsDue(1));
+}
+
+TEST(SchedulerTest, DivisionGrowsPopulationEachIteration) {
+  Param param = SmallParam();
+  Simulation sim("test", param);
+  auto* rm = sim.GetResourceManager();
+  auto* cell = new Cell({0, 0, 0}, 20);
+  // Division threshold far below current diameter: divides every iteration.
+  cell->AddBehavior(new models::GrowDivide(100, 10));
+  rm->AddAgent(cell);
+  uint64_t last = 1;
+  for (int i = 0; i < 4; ++i) {
+    sim.Simulate(1);
+    const uint64_t now = rm->GetNumAgents();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+}  // namespace
+}  // namespace bdm

@@ -1,0 +1,140 @@
+#include "core/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "continuum/diffusion_grid.h"
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "env/environment.h"
+#include "memory/memory_manager.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+namespace {
+
+class NoopBehavior : public Behavior {
+ public:
+  void Run(Agent*, ExecutionContext*) override {}
+  Behavior* NewCopy() const override { return new NoopBehavior(*this); }
+};
+
+Param SmallParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;  // keep defaults cheap for unit tests
+  param.use_bdm_memory_manager = false;
+  return param;
+}
+
+TEST(SimulationTest, ActivePointerLifecycle) {
+  EXPECT_EQ(Simulation::GetActive(), nullptr);
+  {
+    Simulation sim("test", SmallParam());
+    EXPECT_EQ(Simulation::GetActive(), &sim);
+  }
+  EXPECT_EQ(Simulation::GetActive(), nullptr);
+}
+
+TEST(SimulationTest, ComponentsAreWired) {
+  Simulation sim("test", SmallParam());
+  EXPECT_NE(sim.GetResourceManager(), nullptr);
+  EXPECT_NE(sim.GetEnvironment(), nullptr);
+  EXPECT_NE(sim.GetScheduler(), nullptr);
+  EXPECT_NE(sim.GetThreadPool(), nullptr);
+  EXPECT_NE(sim.GetInteractionForce(), nullptr);
+  EXPECT_EQ(sim.GetMemoryManager(), nullptr);  // disabled in SmallParam
+}
+
+TEST(SimulationTest, MemoryManagerEnabledWhenConfigured) {
+  Param param = SmallParam();
+  param.use_bdm_memory_manager = true;
+  Simulation sim("test", param);
+  EXPECT_NE(sim.GetMemoryManager(), nullptr);
+  EXPECT_EQ(MemoryManager::GetGlobal(), sim.GetMemoryManager());
+}
+
+TEST(SimulationTest, EnvironmentTypeFollowsParam) {
+  for (auto type : {EnvironmentType::kUniformGrid, EnvironmentType::kKdTree,
+                    EnvironmentType::kOctree}) {
+    Param param = SmallParam();
+    param.environment = type;
+    Simulation sim("test", param);
+    const std::string name = sim.GetEnvironment()->GetName();
+    switch (type) {
+      case EnvironmentType::kUniformGrid:
+        EXPECT_EQ(name, "uniform_grid");
+        break;
+      case EnvironmentType::kKdTree:
+        EXPECT_EQ(name, "kd_tree");
+        break;
+      case EnvironmentType::kOctree:
+        EXPECT_EQ(name, "octree");
+        break;
+    }
+  }
+}
+
+TEST(SimulationTest, ExecutionContextsOnePerThreadPlusMain) {
+  Simulation sim("test", SmallParam());
+  EXPECT_EQ(sim.GetAllExecutionContexts().size(), 3u);
+  EXPECT_EQ(sim.GetActiveExecutionContext(), sim.GetExecutionContext(-1));
+}
+
+TEST(SimulationTest, ContextRandomsAreIndependentlySeeded) {
+  Simulation sim("test", SmallParam());
+  const real_t a = sim.GetExecutionContext(-1)->random()->Uniform();
+  const real_t b = sim.GetExecutionContext(0)->random()->Uniform();
+  EXPECT_NE(a, b);
+}
+
+TEST(SimulationTest, DiffusionGridRegistryByName) {
+  Simulation sim("test", SmallParam());
+  auto* grid = sim.AddDiffusionGrid(
+      std::make_unique<DiffusionGrid>("oxygen", 10, 0.1, 8), {0, 0, 0},
+      {100, 100, 100});
+  EXPECT_EQ(sim.GetDiffusionGrid("oxygen"), grid);
+  EXPECT_EQ(sim.GetDiffusionGrid("nope"), nullptr);
+  EXPECT_EQ(sim.GetAllDiffusionGrids().size(), 1u);
+}
+
+TEST(SimulationTest, SimulateRunsIterations) {
+  Simulation sim("test", SmallParam());
+  sim.GetResourceManager()->AddAgent(new Cell({0, 0, 0}, 10));
+  sim.Simulate(5);
+  EXPECT_EQ(sim.GetScheduler()->GetSimulatedIterations(), 5u);
+}
+
+TEST(SimulationTest, TimingBucketsPopulated) {
+  Simulation sim("test", SmallParam());
+  sim.GetResourceManager()->AddAgent(new Cell({0, 0, 0}, 10));
+  sim.Simulate(3);
+  EXPECT_EQ(sim.GetTiming()->Count("environment_update"), 3u);
+  EXPECT_EQ(sim.GetTiming()->Count("agent_ops"), 3u);
+  EXPECT_EQ(sim.GetTiming()->Count("commit"), 3u);
+  EXPECT_GT(sim.GetTiming()->GrandTotalSeconds(), 0);
+}
+
+TEST(SimulationTest, SequentialSimulationsWithDifferentAllocators) {
+  // Benches alternate allocator configurations in one process; the
+  // headerless Delete must stay sound across that sequence.
+  for (bool use_mm : {true, false, true}) {
+    Param param = SmallParam();
+    param.use_bdm_memory_manager = use_mm;
+    Simulation sim("test", param);
+    auto* rm = sim.GetResourceManager();
+    for (int i = 0; i < 100; ++i) {
+      auto* cell = new Cell({static_cast<real_t>(i % 10) * 15,
+                             static_cast<real_t>(i / 10) * 15, 0},
+                            10);
+      cell->AddBehavior(new NoopBehavior());
+      rm->AddAgent(cell);
+    }
+    sim.Simulate(2);
+    EXPECT_EQ(rm->GetNumAgents(), 100u);
+  }
+}
+
+}  // namespace
+}  // namespace bdm

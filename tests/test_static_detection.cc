@@ -1,0 +1,176 @@
+// Static-agent detection (paper Section 5): correctness of the four
+// conditions and, most importantly, that enabling the optimization does not
+// change simulation results.
+#include <gtest/gtest.h>
+
+#include "core/cell.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "models/common_behaviors.h"
+
+namespace bdm {
+namespace {
+
+Param StaticParam() {
+  Param param;
+  param.num_threads = 2;
+  param.num_numa_domains = 1;
+  param.agent_sort_frequency = 0;
+  param.use_bdm_memory_manager = false;
+  param.detect_static_agents = true;
+  return param;
+}
+
+TEST(StaticDetectionTest, IsolatedAgentBecomesStatic) {
+  Simulation sim("test", StaticParam());
+  auto* cell = new Cell({0, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(cell);
+  // Iteration 1: nothing happens; iteration 2's staticness op promotes.
+  sim.Simulate(2);
+  EXPECT_TRUE(cell->IsStatic());
+}
+
+TEST(StaticDetectionTest, SeparatedPairBecomesStatic) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({30, 0, 0}, 10);  // no overlap, no adhesion range
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(3);
+  EXPECT_TRUE(a->IsStatic());
+  EXPECT_TRUE(b->IsStatic());
+}
+
+TEST(StaticDetectionTest, OverlappingPairStaysAwakeWhileMoving) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({6, 0, 0}, 10);  // strong overlap: they keep moving
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(2);
+  EXPECT_FALSE(a->IsStatic());
+  EXPECT_FALSE(b->IsStatic());
+}
+
+TEST(StaticDetectionTest, RelaxedPairEventuallySleeps) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({9.0, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(400);  // repulsion + fading adhesion reach equilibrium
+  sim.Simulate(3);    // settle the flags
+  EXPECT_TRUE(a->IsStatic());
+  EXPECT_TRUE(b->IsStatic());
+}
+
+TEST(StaticDetectionTest, MovedAgentWakesNeighbors) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({12, 0, 0}, 10);  // within grid interaction radius
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(3);
+  ASSERT_TRUE(a->IsStatic());
+  ASSERT_TRUE(b->IsStatic());
+  // Teleport a next to b: the staticness op must wake b.
+  a->SetPosition({11, 0, 0});
+  sim.Simulate(1);
+  EXPECT_FALSE(a->IsStatic());
+  EXPECT_FALSE(b->IsStatic());
+}
+
+TEST(StaticDetectionTest, GrowthWakesNeighbors) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  auto* b = new Cell({12, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.GetResourceManager()->AddAgent(b);
+  sim.Simulate(3);
+  ASSERT_TRUE(b->IsStatic());
+  // Growth into b's range: interaction radius becomes 16 >= distance 12 and
+  // the pairwise force becomes non-zero, so b must wake up.
+  a->SetDiameter(16);
+  sim.Simulate(1);
+  EXPECT_FALSE(b->IsStatic());
+}
+
+TEST(StaticDetectionTest, NewAgentWakesNeighbors) {
+  Simulation sim("test", StaticParam());
+  auto* a = new Cell({0, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(a);
+  sim.Simulate(3);
+  ASSERT_TRUE(a->IsStatic());
+  // Commit a new agent within the interaction radius (condition iii).
+  sim.GetActiveExecutionContext()->AddAgent(new Cell({8, 0, 0}, 10));
+  sim.Simulate(1);  // commit happened at end of this iteration
+  sim.Simulate(1);  // staticness op propagates the newcomer's wake-up
+  EXPECT_FALSE(a->IsStatic());
+}
+
+TEST(StaticDetectionTest, ManyNonZeroForcesPreventStaticness) {
+  // Condition iv: an agent pinned between two pushing neighbors whose
+  // forces cancel must NOT become static even if it does not move.
+  Simulation sim("test", StaticParam());
+  auto* left = new Cell({-9, 0, 0}, 10);
+  auto* center = new Cell({0, 0, 0}, 10);
+  auto* right = new Cell({9, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(left);
+  sim.GetResourceManager()->AddAgent(center);
+  sim.GetResourceManager()->AddAgent(right);
+  sim.Simulate(2);
+  // Center sees two non-zero forces that (nearly) cancel: stays awake.
+  EXPECT_FALSE(center->IsStatic());
+}
+
+TEST(StaticDetectionTest, DetectionOffNeverMarksStatic) {
+  Param param = StaticParam();
+  param.detect_static_agents = false;
+  Simulation sim("test", param);
+  auto* cell = new Cell({0, 0, 0}, 10);
+  sim.GetResourceManager()->AddAgent(cell);
+  sim.Simulate(5);
+  // Without the staticness op the flags are never promoted.
+  EXPECT_FALSE(cell->IsStatic());
+}
+
+// The headline property: enabling the optimization does not change results.
+TEST(StaticDetectionTest, ResultsMatchWithAndWithoutDetection) {
+  auto run = [](bool detect) {
+    Param param = StaticParam();
+    param.detect_static_agents = detect;
+    param.num_threads = 1;  // single thread for exact determinism
+    Simulation sim("test", param);
+    auto* rm = sim.GetResourceManager();
+    // A relaxed lattice with one actively growing corner cell: far regions
+    // go static; the growing corner keeps its surroundings awake.
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        auto* cell =
+            new Cell({x * 11.0, y * 11.0, 0}, 10);
+        if (x == 0 && y == 0) {
+          cell->AddBehavior(new models::GrowDivide(20, 25));  // grows slowly
+        }
+        rm->AddAgent(cell);
+      }
+    }
+    sim.Simulate(50);
+    std::vector<Real3> positions;
+    rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+      positions.push_back(agent->GetPosition());
+    });
+    return positions;
+  };
+  const auto with = run(true);
+  const auto without = run(false);
+  ASSERT_EQ(with.size(), without.size());
+  for (size_t i = 0; i < with.size(); ++i) {
+    EXPECT_NEAR(with[i].x, without[i].x, 1e-9) << i;
+    EXPECT_NEAR(with[i].y, without[i].y, 1e-9) << i;
+    EXPECT_NEAR(with[i].z, without[i].z, 1e-9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace bdm

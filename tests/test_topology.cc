@@ -1,0 +1,80 @@
+#include "numa/topology.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace bdm {
+namespace {
+
+TEST(TopologyTest, SingleThreadSingleDomain) {
+  Topology topo(1, 1);
+  EXPECT_EQ(topo.NumThreads(), 1);
+  EXPECT_EQ(topo.NumDomains(), 1);
+  EXPECT_EQ(topo.DomainOfThread(0), 0);
+}
+
+TEST(TopologyTest, EvenSplit) {
+  Topology topo(8, 4);
+  EXPECT_EQ(topo.NumDomains(), 4);
+  for (int d = 0; d < 4; ++d) {
+    EXPECT_EQ(topo.NumThreadsInDomain(d), 2);
+  }
+}
+
+TEST(TopologyTest, UnevenSplitFrontLoaded) {
+  Topology topo(7, 3);
+  EXPECT_EQ(topo.NumThreadsInDomain(0), 3);
+  EXPECT_EQ(topo.NumThreadsInDomain(1), 2);
+  EXPECT_EQ(topo.NumThreadsInDomain(2), 2);
+}
+
+TEST(TopologyTest, MoreDomainsThanThreadsCollapses) {
+  Topology topo(2, 8);
+  EXPECT_EQ(topo.NumDomains(), 2);
+  EXPECT_EQ(topo.NumThreadsInDomain(0), 1);
+}
+
+TEST(TopologyTest, ThreadIdsContiguousWithinDomain) {
+  Topology topo(6, 2);
+  EXPECT_EQ(topo.ThreadsOfDomain(0), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(topo.ThreadsOfDomain(1), (std::vector<int>{3, 4, 5}));
+}
+
+class TopologyConsistency
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TopologyConsistency, ForwardAndReverseMappingsAgree) {
+  const auto [threads, domains] = GetParam();
+  Topology topo(threads, domains);
+  // Every thread appears in exactly the domain it reports.
+  int total = 0;
+  for (int d = 0; d < topo.NumDomains(); ++d) {
+    for (int tid : topo.ThreadsOfDomain(d)) {
+      EXPECT_EQ(topo.DomainOfThread(tid), d);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, threads);
+}
+
+TEST_P(TopologyConsistency, BalancedWithinOne) {
+  const auto [threads, domains] = GetParam();
+  Topology topo(threads, domains);
+  int min = threads, max = 0;
+  for (int d = 0; d < topo.NumDomains(); ++d) {
+    min = std::min(min, topo.NumThreadsInDomain(d));
+    max = std::max(max, topo.NumThreadsInDomain(d));
+  }
+  EXPECT_LE(max - min, 1);
+  EXPECT_GE(min, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TopologyConsistency,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 1}, std::pair{2, 2},
+                      std::pair{3, 2}, std::pair{4, 4}, std::pair{7, 3},
+                      std::pair{16, 4}, std::pair{144, 4}, std::pair{5, 9}));
+
+}  // namespace
+}  // namespace bdm
