@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_biocellion.dir/bench_biocellion.cc.o"
+  "CMakeFiles/bench_biocellion.dir/bench_biocellion.cc.o.d"
+  "bench_biocellion"
+  "bench_biocellion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_biocellion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_environments.dir/bench_environments.cc.o"
+  "CMakeFiles/bench_environments.dir/bench_environments.cc.o.d"
+  "bench_environments"
+  "bench_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

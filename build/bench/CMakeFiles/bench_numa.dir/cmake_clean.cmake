@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_numa.dir/bench_numa.cc.o"
+  "CMakeFiles/bench_numa.dir/bench_numa.cc.o.d"
+  "bench_numa"
+  "bench_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

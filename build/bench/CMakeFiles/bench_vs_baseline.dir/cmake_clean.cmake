@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_vs_baseline.dir/bench_vs_baseline.cc.o"
+  "CMakeFiles/bench_vs_baseline.dir/bench_vs_baseline.cc.o.d"
+  "bench_vs_baseline"
+  "bench_vs_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_vs_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

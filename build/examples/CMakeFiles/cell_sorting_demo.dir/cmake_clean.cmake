@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cell_sorting_demo.dir/cell_sorting_demo.cpp.o"
+  "CMakeFiles/cell_sorting_demo.dir/cell_sorting_demo.cpp.o.d"
+  "cell_sorting_demo"
+  "cell_sorting_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cell_sorting_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

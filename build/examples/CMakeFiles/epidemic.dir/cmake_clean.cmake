@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epidemic.dir/epidemic.cpp.o"
+  "CMakeFiles/epidemic.dir/epidemic.cpp.o.d"
+  "epidemic"
+  "epidemic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epidemic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

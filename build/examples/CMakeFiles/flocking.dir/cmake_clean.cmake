@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flocking.dir/flocking.cpp.o"
+  "CMakeFiles/flocking.dir/flocking.cpp.o.d"
+  "flocking"
+  "flocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neurite_growth.dir/neurite_growth.cpp.o"
+  "CMakeFiles/neurite_growth.dir/neurite_growth.cpp.o.d"
+  "neurite_growth"
+  "neurite_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neurite_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tumor_growth.dir/tumor_growth.cpp.o"
+  "CMakeFiles/tumor_growth.dir/tumor_growth.cpp.o.d"
+  "tumor_growth"
+  "tumor_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tumor_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

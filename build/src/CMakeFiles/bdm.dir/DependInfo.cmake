@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accel/offload_displacement_op.cc" "src/CMakeFiles/bdm.dir/accel/offload_displacement_op.cc.o" "gcc" "src/CMakeFiles/bdm.dir/accel/offload_displacement_op.cc.o.d"
+  "/root/repo/src/baseline/serial_engine.cc" "src/CMakeFiles/bdm.dir/baseline/serial_engine.cc.o" "gcc" "src/CMakeFiles/bdm.dir/baseline/serial_engine.cc.o.d"
+  "/root/repo/src/continuum/diffusion_grid.cc" "src/CMakeFiles/bdm.dir/continuum/diffusion_grid.cc.o" "gcc" "src/CMakeFiles/bdm.dir/continuum/diffusion_grid.cc.o.d"
+  "/root/repo/src/core/agent.cc" "src/CMakeFiles/bdm.dir/core/agent.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/agent.cc.o.d"
+  "/root/repo/src/core/cell.cc" "src/CMakeFiles/bdm.dir/core/cell.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/cell.cc.o.d"
+  "/root/repo/src/core/default_ops.cc" "src/CMakeFiles/bdm.dir/core/default_ops.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/default_ops.cc.o.d"
+  "/root/repo/src/core/load_balance_op.cc" "src/CMakeFiles/bdm.dir/core/load_balance_op.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/load_balance_op.cc.o.d"
+  "/root/repo/src/core/resource_manager.cc" "src/CMakeFiles/bdm.dir/core/resource_manager.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/resource_manager.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/bdm.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/scheduler.cc.o.d"
+  "/root/repo/src/core/simulation.cc" "src/CMakeFiles/bdm.dir/core/simulation.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/simulation.cc.o.d"
+  "/root/repo/src/env/kd_tree.cc" "src/CMakeFiles/bdm.dir/env/kd_tree.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/kd_tree.cc.o.d"
+  "/root/repo/src/env/octree.cc" "src/CMakeFiles/bdm.dir/env/octree.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/octree.cc.o.d"
+  "/root/repo/src/env/uniform_grid.cc" "src/CMakeFiles/bdm.dir/env/uniform_grid.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/uniform_grid.cc.o.d"
+  "/root/repo/src/io/checkpoint.cc" "src/CMakeFiles/bdm.dir/io/checkpoint.cc.o" "gcc" "src/CMakeFiles/bdm.dir/io/checkpoint.cc.o.d"
+  "/root/repo/src/io/exporter.cc" "src/CMakeFiles/bdm.dir/io/exporter.cc.o" "gcc" "src/CMakeFiles/bdm.dir/io/exporter.cc.o.d"
+  "/root/repo/src/io/time_series.cc" "src/CMakeFiles/bdm.dir/io/time_series.cc.o" "gcc" "src/CMakeFiles/bdm.dir/io/time_series.cc.o.d"
+  "/root/repo/src/memory/memory_manager.cc" "src/CMakeFiles/bdm.dir/memory/memory_manager.cc.o" "gcc" "src/CMakeFiles/bdm.dir/memory/memory_manager.cc.o.d"
+  "/root/repo/src/memory/numa_pool_allocator.cc" "src/CMakeFiles/bdm.dir/memory/numa_pool_allocator.cc.o" "gcc" "src/CMakeFiles/bdm.dir/memory/numa_pool_allocator.cc.o.d"
+  "/root/repo/src/models/cell_clustering.cc" "src/CMakeFiles/bdm.dir/models/cell_clustering.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/cell_clustering.cc.o.d"
+  "/root/repo/src/models/cell_proliferation.cc" "src/CMakeFiles/bdm.dir/models/cell_proliferation.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/cell_proliferation.cc.o.d"
+  "/root/repo/src/models/cell_sorting.cc" "src/CMakeFiles/bdm.dir/models/cell_sorting.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/cell_sorting.cc.o.d"
+  "/root/repo/src/models/common_behaviors.cc" "src/CMakeFiles/bdm.dir/models/common_behaviors.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/common_behaviors.cc.o.d"
+  "/root/repo/src/models/epidemiology.cc" "src/CMakeFiles/bdm.dir/models/epidemiology.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/epidemiology.cc.o.d"
+  "/root/repo/src/models/flocking.cc" "src/CMakeFiles/bdm.dir/models/flocking.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/flocking.cc.o.d"
+  "/root/repo/src/models/neuroscience.cc" "src/CMakeFiles/bdm.dir/models/neuroscience.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/neuroscience.cc.o.d"
+  "/root/repo/src/models/oncology.cc" "src/CMakeFiles/bdm.dir/models/oncology.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/oncology.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/CMakeFiles/bdm.dir/models/registry.cc.o" "gcc" "src/CMakeFiles/bdm.dir/models/registry.cc.o.d"
+  "/root/repo/src/neuro/growth_behaviors.cc" "src/CMakeFiles/bdm.dir/neuro/growth_behaviors.cc.o" "gcc" "src/CMakeFiles/bdm.dir/neuro/growth_behaviors.cc.o.d"
+  "/root/repo/src/neuro/neurite_element.cc" "src/CMakeFiles/bdm.dir/neuro/neurite_element.cc.o" "gcc" "src/CMakeFiles/bdm.dir/neuro/neurite_element.cc.o.d"
+  "/root/repo/src/neuro/neuron_soma.cc" "src/CMakeFiles/bdm.dir/neuro/neuron_soma.cc.o" "gcc" "src/CMakeFiles/bdm.dir/neuro/neuron_soma.cc.o.d"
+  "/root/repo/src/physics/hertzian_force.cc" "src/CMakeFiles/bdm.dir/physics/hertzian_force.cc.o" "gcc" "src/CMakeFiles/bdm.dir/physics/hertzian_force.cc.o.d"
+  "/root/repo/src/physics/interaction_force.cc" "src/CMakeFiles/bdm.dir/physics/interaction_force.cc.o" "gcc" "src/CMakeFiles/bdm.dir/physics/interaction_force.cc.o.d"
+  "/root/repo/src/sched/numa_thread_pool.cc" "src/CMakeFiles/bdm.dir/sched/numa_thread_pool.cc.o" "gcc" "src/CMakeFiles/bdm.dir/sched/numa_thread_pool.cc.o.d"
+  "/root/repo/src/spatial/hilbert.cc" "src/CMakeFiles/bdm.dir/spatial/hilbert.cc.o" "gcc" "src/CMakeFiles/bdm.dir/spatial/hilbert.cc.o.d"
+  "/root/repo/src/spatial/morton.cc" "src/CMakeFiles/bdm.dir/spatial/morton.cc.o" "gcc" "src/CMakeFiles/bdm.dir/spatial/morton.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_agent_uid.dir/test_agent_uid.cc.o"
+  "CMakeFiles/test_agent_uid.dir/test_agent_uid.cc.o.d"
+  "test_agent_uid"
+  "test_agent_uid.pdb"
+  "test_agent_uid[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_agent_uid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_utils.dir/test_core_utils.cc.o"
+  "CMakeFiles/test_core_utils.dir/test_core_utils.cc.o.d"
+  "test_core_utils"
+  "test_core_utils.pdb"
+  "test_core_utils[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_utils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_env_edge_cases.dir/test_env_edge_cases.cc.o"
+  "CMakeFiles/test_env_edge_cases.dir/test_env_edge_cases.cc.o.d"
+  "test_env_edge_cases"
+  "test_env_edge_cases.pdb"
+  "test_env_edge_cases[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_env_edge_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_environments.dir/test_environments.cc.o"
+  "CMakeFiles/test_environments.dir/test_environments.cc.o.d"
+  "test_environments"
+  "test_environments.pdb"
+  "test_environments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

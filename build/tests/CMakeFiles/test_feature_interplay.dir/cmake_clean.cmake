@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_feature_interplay.dir/test_feature_interplay.cc.o"
+  "CMakeFiles/test_feature_interplay.dir/test_feature_interplay.cc.o.d"
+  "test_feature_interplay"
+  "test_feature_interplay.pdb"
+  "test_feature_interplay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_feature_interplay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_flocking.dir/test_flocking.cc.o"
+  "CMakeFiles/test_flocking.dir/test_flocking.cc.o.d"
+  "test_flocking"
+  "test_flocking.pdb"
+  "test_flocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_flocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physics_extra.dir/test_physics_extra.cc.o"
+  "CMakeFiles/test_physics_extra.dir/test_physics_extra.cc.o.d"
+  "test_physics_extra"
+  "test_physics_extra.pdb"
+  "test_physics_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physics_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prefix_sum.dir/test_prefix_sum.cc.o"
+  "CMakeFiles/test_prefix_sum.dir/test_prefix_sum.cc.o.d"
+  "test_prefix_sum"
+  "test_prefix_sum.pdb"
+  "test_prefix_sum[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prefix_sum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

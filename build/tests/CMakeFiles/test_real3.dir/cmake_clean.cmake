@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_real3.dir/test_real3.cc.o"
+  "CMakeFiles/test_real3.dir/test_real3.cc.o.d"
+  "test_real3"
+  "test_real3.pdb"
+  "test_real3[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_real3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_static_detection.dir/test_static_detection.cc.o"
+  "CMakeFiles/test_static_detection.dir/test_static_detection.cc.o.d"
+  "test_static_detection"
+  "test_static_detection.pdb"
+  "test_static_detection[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_static_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
