@@ -157,6 +157,36 @@ inline Param AllOptimizationsParam(int threads = 0, int domains = 2) {
   return param;
 }
 
+/// One machine-readable measurement: a named kernel/workload, the agent
+/// count it ran at, nanoseconds per iteration, plus free-form numeric
+/// extras (speedups, candidate counts, ...).
+struct JsonRecord {
+  std::string workload;
+  uint64_t agents = 0;
+  double ns_per_iter = 0;
+  std::vector<std::pair<std::string, double>> extras;
+};
+
+/// Writes `records` as a JSON array to `path` (e.g. "BENCH_neighbor.json")
+/// so CI and the EXPERIMENTS.md tables can be regenerated without parsing
+/// human-oriented stdout.
+inline void WriteBenchJson(const std::string& path,
+                           const std::vector<JsonRecord>& records) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    out << "  {\"workload\": \"" << r.workload << "\", \"agents\": " << r.agents
+        << ", \"ns_per_iter\": " << r.ns_per_iter;
+    for (const auto& [key, value] : r.extras) {
+      out << ", \"" << key << "\": " << value;
+    }
+    out << "}" << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+}
+
 inline void PrintHeader(const std::string& title) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", title.c_str());

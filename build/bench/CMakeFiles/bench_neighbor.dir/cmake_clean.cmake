@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_neighbor.dir/bench_neighbor.cc.o"
+  "CMakeFiles/bench_neighbor.dir/bench_neighbor.cc.o.d"
+  "bench_neighbor"
+  "bench_neighbor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_neighbor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

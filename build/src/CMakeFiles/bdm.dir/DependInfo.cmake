@@ -18,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/resource_manager.cc" "src/CMakeFiles/bdm.dir/core/resource_manager.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/resource_manager.cc.o.d"
   "/root/repo/src/core/scheduler.cc" "src/CMakeFiles/bdm.dir/core/scheduler.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/scheduler.cc.o.d"
   "/root/repo/src/core/simulation.cc" "src/CMakeFiles/bdm.dir/core/simulation.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/simulation.cc.o.d"
+  "/root/repo/src/env/environment.cc" "src/CMakeFiles/bdm.dir/env/environment.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/environment.cc.o.d"
   "/root/repo/src/env/kd_tree.cc" "src/CMakeFiles/bdm.dir/env/kd_tree.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/kd_tree.cc.o.d"
   "/root/repo/src/env/octree.cc" "src/CMakeFiles/bdm.dir/env/octree.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/octree.cc.o.d"
   "/root/repo/src/env/uniform_grid.cc" "src/CMakeFiles/bdm.dir/env/uniform_grid.cc.o" "gcc" "src/CMakeFiles/bdm.dir/env/uniform_grid.cc.o.d"

@@ -77,7 +77,10 @@ class Agent {
   /// Computes the total displacement caused by mechanical interactions with
   /// neighbors within sqrt(squared_radius). Must also report, via
   /// `non_zero_forces`, how many individual neighbor forces were non-zero
-  /// (Section 5 condition iv).
+  /// (Section 5 condition iv). Implementations should iterate neighbors via
+  /// Environment::ForEachNeighborData and the geometry overload of
+  /// InteractionForce::Calculate so neighbor position/diameter are served
+  /// from the environment's SoA mirror instead of the Agent objects.
   virtual Real3 CalculateDisplacement(const InteractionForce* force,
                                       Environment* env, const Param& param,
                                       int* non_zero_forces) = 0;

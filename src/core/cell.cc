@@ -70,13 +70,20 @@ Real3 Cell::CalculateDisplacement(const InteractionForce* force, Environment* en
   const real_t squared_radius = radius * radius;
   Real3 total{};
   int non_zero = 0;
-  env->ForEachNeighbor(*this, squared_radius, [&](Agent* neighbor, real_t) {
-    const Real3 f = force->Calculate(this, neighbor);
-    if (f.SquaredNorm() > 0) {
-      ++non_zero;
-      total += f;
-    }
-  });
+  // Index-aware neighbor iteration: position and diameter come from the
+  // environment's SoA mirror, so the dominant kernel of an iteration never
+  // chases the neighbor Agent* for geometry.
+  const Real3& my_pos = GetPosition();
+  const real_t my_diameter = GetDiameter();
+  env->ForEachNeighborData(
+      *this, squared_radius, [&](const Environment::NeighborData& nb) {
+        const Real3 f = force->Calculate(this, my_pos, my_diameter, nb.agent,
+                                         nb.position, nb.diameter);
+        if (f.SquaredNorm() > 0) {
+          ++non_zero;
+          total += f;
+        }
+      });
   *non_zero_forces = non_zero;
   if (total.SquaredNorm() < param.force_threshold_squared) {
     return {0, 0, 0};

@@ -21,7 +21,10 @@ void StaticnessOp::Run(Simulation* sim) {
   const real_t squared_radius = radius * radius;
   // Pass 1: agents whose change can increase forces on their neighbors wake
   // every agent within the interaction radius (conditions i-iii of
-  // Section 5 from the neighbors' point of view).
+  // Section 5 from the neighbors' point of view). Plain ForEachNeighbor is
+  // the right interface here: waking dereferences the neighbor Agent*
+  // anyway, and the candidate reject path already runs entirely on the
+  // uniform grid's SoA mirror.
   rm->ForEachAgentParallel([&](Agent* agent, AgentHandle, int) {
     if (!agent->PropagatesStaticness()) {
       return;

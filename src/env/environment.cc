@@ -1,0 +1,15 @@
+#include "env/environment.h"
+
+#include "core/agent.h"
+
+namespace bdm {
+
+void Environment::ForEachNeighborData(const Agent& query, real_t squared_radius,
+                                      NeighborDataFn fn) const {
+  ForEachNeighbor(query, squared_radius, [&](Agent* neighbor, real_t d2) {
+    fn(NeighborData{neighbor, neighbor->GetPosition(), neighbor->GetDiameter(),
+                    d2});
+  });
+}
+
+}  // namespace bdm

@@ -137,6 +137,8 @@ void KdTreeEnvironment::ForEachNeighbor(const Real3& position,
 }
 
 size_t KdTreeEnvironment::MemoryFootprint() const {
+  // Complete over the persistent index arrays (points, agents, nodes); the
+  // per-split scratch vectors in Build are freed before Update returns.
   return points_.capacity() * sizeof(Real3) +
          agents_.capacity() * sizeof(Agent*) + nodes_.capacity() * sizeof(Node);
 }

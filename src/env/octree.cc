@@ -179,6 +179,8 @@ void OctreeEnvironment::ForEachNeighbor(const Real3& position,
 }
 
 size_t OctreeEnvironment::MemoryFootprint() const {
+  // Complete over the persistent index arrays (points, agents, nodes); the
+  // counting-sort scratch in Build is freed before Update returns.
   return points_.capacity() * sizeof(Real3) +
          agents_.capacity() * sizeof(Agent*) + nodes_.capacity() * sizeof(Node);
 }

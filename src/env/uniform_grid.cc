@@ -29,13 +29,19 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
   const uint64_t total = rm.GetNumAgents();
   flat_agents_.resize(total);
   successors_.resize(total);
+  pos_x_.resize(total);
+  pos_y_.resize(total);
+  pos_z_.resize(total);
+  diameters_.resize(total);
   if (total == 0) {
     nx_ = ny_ = nz_ = 0;
     return;
   }
 
-  // Flatten the per-domain vectors and reduce bounding box plus largest
-  // diameter in one parallel pass.
+  // Flatten the per-domain vectors -- agent pointers plus the SoA mirror of
+  // position and diameter -- and reduce bounding box plus largest diameter
+  // in one parallel pass. Domain-major order keeps the mirror NUMA-ordered
+  // like flat_agents_.
   std::vector<uint64_t> domain_offset(rm.GetNumDomains() + 1, 0);
   for (int d = 0; d < rm.GetNumDomains(); ++d) {
     domain_offset[d + 1] = domain_offset[d] + rm.GetNumAgents(d);
@@ -52,11 +58,16 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
             Agent* agent = agents[i];
             flat_agents_[offset + i] = agent;
             const Real3& pos = agent->GetPosition();
+            const real_t diameter = agent->GetDiameter();
+            pos_x_[offset + i] = pos.x;
+            pos_y_[offset + i] = pos.y;
+            pos_z_[offset + i] = pos.z;
+            diameters_[offset + i] = diameter;
             for (int c = 0; c < 3; ++c) {
               p.lower[c] = std::min(p.lower[c], pos[c]);
               p.upper[c] = std::max(p.upper[c], pos[c]);
             }
-            p.largest_diameter = std::max(p.largest_diameter, agent->GetDiameter());
+            p.largest_diameter = std::max(p.largest_diameter, diameter);
           }
         });
   }
@@ -76,17 +87,41 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
                                              : largest_diameter_;
   box_length_ = std::max<real_t>(box_length_, 1e-6);
 
-  const auto dim = [&](int c) {
-    return static_cast<int64_t>(
-               std::floor((upper_[c] - lower_[c]) / box_length_)) + 1;
-  };
   // Sparse-space guard: a huge, sparsely populated space must not blow up
   // the boxes array (searches stay correct with a coarser grid because the
-  // ring count adapts to radius / box_length).
-  while (dim(0) * dim(1) * dim(2) >
-         std::max<int64_t>(int64_t{1} << 21, 32 * static_cast<int64_t>(total))) {
+  // ring count adapts to radius / box_length). Overflow-safe: each
+  // dimension is bounded before it enters the product, so a huge bounding
+  // box with a tiny box length cannot overflow int64 -- neither in the
+  // per-dimension cast nor in the dim(0)*dim(1)*dim(2) comparison.
+  const int64_t max_boxes =
+      std::max<int64_t>(int64_t{1} << 21, 32 * static_cast<int64_t>(total));
+  const auto grid_too_large = [&](real_t length) {
+    int64_t product = 1;
+    for (int c = 0; c < 3; ++c) {
+      const real_t extent = (upper_[c] - lower_[c]) / length;
+      if (!(extent < static_cast<real_t>(max_boxes))) {
+        return true;  // this dimension alone exceeds the cap
+      }
+      const int64_t d = static_cast<int64_t>(std::floor(extent)) + 1;
+      if (d > max_boxes / product) {
+        return true;  // product would exceed the cap (or overflow)
+      }
+      product *= d;
+    }
+    return false;
+  };
+  while (grid_too_large(box_length_)) {
     box_length_ *= 2;
   }
+  // Searches and the build multiply by the precomputed inverse instead of
+  // dividing; both sides use the same expression so an agent is always
+  // found in the box it was inserted into.
+  inv_box_length_ = real_t{1} / box_length_;
+
+  const auto dim = [&](int c) {
+    return static_cast<int64_t>(
+               std::floor((upper_[c] - lower_[c]) * inv_box_length_)) + 1;
+  };
   const int64_t nx = dim(0), ny = dim(1), nz = dim(2);
   const int64_t num_boxes = nx * ny * nz;
 
@@ -115,13 +150,23 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
   nx_ = nx;
   ny_ = ny;
   nz_ = nz;
+  int s = 0;
+  for (int64_t dz = -1; dz <= 1; ++dz) {
+    for (int64_t dy = -1; dy <= 1; ++dy) {
+      for (int64_t dx = -1; dx <= 1; ++dx) {
+        stencil_[s++] = dx + nx_ * (dy + ny_ * dz);
+      }
+    }
+  }
 
   // Assign all agents to boxes in parallel. The packed word makes the
-  // "stale box" reset and the list push one atomic CAS.
+  // "stale box" reset and the list push one atomic CAS. Box coordinates
+  // come from the just-filled SoA mirror, not the agent.
   pool->ParallelFor(
       0, static_cast<int64_t>(total), 4096, [&](int64_t lo, int64_t hi, int) {
         for (int64_t i = lo; i < hi; ++i) {
-          const auto c = BoxCoordinates(flat_agents_[i]->GetPosition());
+          const auto c =
+              BoxCoordinates({pos_x_[i], pos_y_[i], pos_z_[i]});
           std::atomic<uint64_t>& box = boxes_[FlatBoxIndex(c[0], c[1], c[2])];
           uint64_t word = box.load(std::memory_order_acquire);
           for (;;) {
@@ -146,75 +191,70 @@ std::array<int64_t, 3> UniformGridEnvironment::BoxCoordinates(
   std::array<int64_t, 3> c;
   const std::array<int64_t, 3> n = {nx_, ny_, nz_};
   for (int i = 0; i < 3; ++i) {
-    const int64_t v =
-        static_cast<int64_t>(std::floor((position[i] - lower_[i]) / box_length_));
+    const int64_t v = static_cast<int64_t>(
+        std::floor((position[i] - lower_[i]) * inv_box_length_));
     c[i] = std::clamp<int64_t>(v, 0, n[i] - 1);
   }
   return c;
 }
 
-void UniformGridEnvironment::Search(const Real3& position, real_t squared_radius,
-                                    const Agent* exclude, NeighborFn& fn) const {
-  if (flat_agents_.empty()) {
-    return;
-  }
-  // One ring of boxes suffices for radii up to the box length (the common
-  // case); larger query radii widen the search cube accordingly.
-  const int64_t reach = std::max<int64_t>(
-      1, static_cast<int64_t>(std::ceil(std::sqrt(squared_radius) / box_length_)));
-  // Unclamped coordinates so queries outside the grid still visit the boxes
-  // their search sphere overlaps.
-  std::array<int64_t, 3> c;
-  for (int i = 0; i < 3; ++i) {
-    c[i] = static_cast<int64_t>(std::floor((position[i] - lower_[i]) / box_length_));
-  }
-  const int64_t zlo = std::max<int64_t>(c[2] - reach, 0);
-  const int64_t zhi = std::min<int64_t>(c[2] + reach, nz_ - 1);
-  const int64_t ylo = std::max<int64_t>(c[1] - reach, 0);
-  const int64_t yhi = std::min<int64_t>(c[1] + reach, ny_ - 1);
-  const int64_t xlo = std::max<int64_t>(c[0] - reach, 0);
-  const int64_t xhi = std::min<int64_t>(c[0] + reach, nx_ - 1);
-  for (int64_t z = zlo; z <= zhi; ++z) {
-    for (int64_t y = ylo; y <= yhi; ++y) {
-      for (int64_t x = xlo; x <= xhi; ++x) {
-        const uint64_t word =
-            boxes_[FlatBoxIndex(x, y, z)].load(std::memory_order_acquire);
-        if (Timestamp(word) != timestamp_) {
-          continue;  // stale timestamp: box is empty this iteration
-        }
-        uint32_t idx = Head(word);
-        for (uint16_t k = 0, count = Count(word); k < count; ++k) {
-          Agent* agent = flat_agents_[idx];
-          idx = successors_[idx];
-          if (agent == exclude) {
-            continue;
-          }
-          const real_t d2 = agent->GetPosition().SquaredDistance(position);
-          if (d2 <= squared_radius) {
-            fn(agent, d2);
-          }
-        }
-      }
-    }
-  }
-}
-
+// The plain ForEachNeighbor overloads serve callbacks that go on to read the
+// neighbor Agent directly (behaviors reading velocity, positions, ...). The
+// SoA mirror filters candidates without an Agent* dereference, but accepted
+// candidates are confirmed against the agent's *current* position and the
+// emitted distance is recomputed from it: behaviors mutate positions while
+// the iteration runs, and a distance that disagrees with the state the
+// callback observes breaks consumers that divide by it (e.g. flocking
+// separation). When nothing moved since Update, mirror == live and the
+// confirm step changes nothing.
 void UniformGridEnvironment::ForEachNeighbor(const Agent& query,
                                              real_t squared_radius,
                                              NeighborFn fn) const {
-  Search(query.GetPosition(), squared_radius, &query, fn);
+  SearchImpl(query.GetPosition(), squared_radius, &query,
+             [&](uint32_t idx, real_t) {
+               Agent* agent = flat_agents_[idx];
+               const real_t d2 =
+                   agent->GetPosition().SquaredDistance(query.GetPosition());
+               if (d2 <= squared_radius) {
+                 fn(agent, d2);
+               }
+             });
 }
 
 void UniformGridEnvironment::ForEachNeighbor(const Real3& position,
                                              real_t squared_radius,
                                              NeighborFn fn) const {
-  Search(position, squared_radius, nullptr, fn);
+  SearchImpl(position, squared_radius, nullptr,
+             [&](uint32_t idx, real_t) {
+               Agent* agent = flat_agents_[idx];
+               const real_t d2 = agent->GetPosition().SquaredDistance(position);
+               if (d2 <= squared_radius) {
+                 fn(agent, d2);
+               }
+             });
+}
+
+// The index-aware path stays entirely on the SoA mirror: position, diameter,
+// and distance are all as of the last Update, so they are consistent with
+// each other, and the callback never needs the Agent object for geometry.
+// This is the mechanics hot path (CalculateDisplacement).
+void UniformGridEnvironment::ForEachNeighborData(const Agent& query,
+                                                 real_t squared_radius,
+                                                 NeighborDataFn fn) const {
+  SearchImpl(query.GetPosition(), squared_radius, &query,
+             [&](uint32_t idx, real_t d2) {
+               fn(NeighborData{flat_agents_[idx],
+                               {pos_x_[idx], pos_y_[idx], pos_z_[idx]},
+                               diameters_[idx], d2});
+             });
 }
 
 size_t UniformGridEnvironment::MemoryFootprint() const {
   return boxes_.size() * sizeof(uint64_t) +
          successors_.capacity() * sizeof(uint32_t) +
-         flat_agents_.capacity() * sizeof(Agent*);
+         flat_agents_.capacity() * sizeof(Agent*) +
+         (pos_x_.capacity() + pos_y_.capacity() + pos_z_.capacity() +
+          diameters_.capacity()) * sizeof(real_t);
 }
 
 }  // namespace bdm

@@ -13,6 +13,18 @@
 //    compare-and-swap.
 //  * Searches visit the 3x3x3 cube of boxes around the query box (more rings
 //    when the query radius exceeds the box length).
+//  * Search-critical attributes (position, diameter) are mirrored into flat
+//    SoA arrays owned by the grid during Update, in the same NUMA-ordered
+//    flatten pass that fills `flat_agents_`. The candidate reject path of a
+//    search reads only these contiguous arrays -- it never dereferences an
+//    `Agent*` into a large polymorphic object (O1/O4 cache discipline; the
+//    GPU port of BioDynaMo relies on the identical layout). Accepted
+//    candidates of the plain ForEachNeighbor overloads are confirmed against
+//    the agent's current position (see uniform_grid.cc); the index-aware
+//    ForEachNeighborData path serves the snapshot geometry directly.
+//  * The common reach == 1 case walks a precomputed 27-offset stencil from
+//    the query's flat box index (interior boxes only; boundary boxes take
+//    the general clamped triple loop).
 //
 // The grid additionally exposes box counts and per-box agent iteration,
 // which the Morton sorting/balancing operation of Section 4.2 builds on.
@@ -21,6 +33,7 @@
 
 #include <array>
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +52,8 @@ class UniformGridEnvironment : public Environment {
                        NeighborFn fn) const override;
   void ForEachNeighbor(const Real3& position, real_t squared_radius,
                        NeighborFn fn) const override;
+  void ForEachNeighborData(const Agent& query, real_t squared_radius,
+                           NeighborDataFn fn) const override;
 
   real_t GetInteractionRadius() const override { return box_length_; }
   Real3 GetLowerBound() const override { return lower_; }
@@ -75,6 +90,10 @@ class UniformGridEnvironment : public Environment {
     }
   }
 
+  /// Test hook: places the internal 16-bit timestamp so the next Updates
+  /// drive it across the wrap-clear path without 65535 real updates.
+  void SetTimestampForTesting(uint16_t timestamp) { timestamp_ = timestamp; }
+
  private:
   // Box word layout: [timestamp:16][count:16][head:32].
   static constexpr uint64_t Pack(uint16_t ts, uint16_t count, uint32_t head) {
@@ -93,14 +112,85 @@ class UniformGridEnvironment : public Environment {
 
   std::array<int64_t, 3> BoxCoordinates(const Real3& position) const;
 
-  void Search(const Real3& position, real_t squared_radius, const Agent* exclude,
-              NeighborFn& fn) const;
+  /// Scans one box, invoking `emit(flat_agent_index, d2)` for every agent
+  /// within the radius. The reject path touches only the SoA mirrors;
+  /// `flat_agents_` is read (for the exclusion compare) only after the
+  /// distance test passed.
+  template <typename Emit>
+  void ScanBox(int64_t flat, const Real3& position, real_t squared_radius,
+               const Agent* exclude, Emit&& emit) const {
+    const uint64_t word = boxes_[flat].load(std::memory_order_acquire);
+    if (Timestamp(word) != timestamp_) {
+      return;  // stale timestamp: box is empty this iteration
+    }
+    uint32_t idx = Head(word);
+    for (uint16_t k = 0, count = Count(word); k < count; ++k) {
+      const uint32_t cur = idx;
+      idx = successors_[cur];
+      const real_t dx = pos_x_[cur] - position.x;
+      const real_t dy = pos_y_[cur] - position.y;
+      const real_t dz = pos_z_[cur] - position.z;
+      const real_t d2 = dx * dx + dy * dy + dz * dz;
+      if (d2 <= squared_radius && flat_agents_[cur] != exclude) {
+        emit(cur, d2);
+      }
+    }
+  }
+
+  template <typename Emit>
+  void SearchImpl(const Real3& position, real_t squared_radius,
+                  const Agent* exclude, Emit&& emit) const {
+    if (flat_agents_.empty()) {
+      return;
+    }
+    // One ring of boxes suffices for radii up to the box length (the common
+    // case); larger query radii widen the search cube accordingly. The
+    // multiply-by-inverse can round the ratio down across an integer
+    // boundary, hence the defensive bump.
+    const real_t radius = std::sqrt(squared_radius);
+    int64_t reach =
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(radius * inv_box_length_)));
+    if (static_cast<real_t>(reach) * box_length_ < radius) {
+      ++reach;
+    }
+    // Unclamped coordinates so queries outside the grid still visit the
+    // boxes their search sphere overlaps.
+    const int64_t cx =
+        static_cast<int64_t>(std::floor((position.x - lower_.x) * inv_box_length_));
+    const int64_t cy =
+        static_cast<int64_t>(std::floor((position.y - lower_.y) * inv_box_length_));
+    const int64_t cz =
+        static_cast<int64_t>(std::floor((position.z - lower_.z) * inv_box_length_));
+    if (reach == 1 && cx >= 1 && cx + 1 < nx_ && cy >= 1 && cy + 1 < ny_ &&
+        cz >= 1 && cz + 1 < nz_) {
+      // Interior fast path: the 27-box stencil as precomputed flat offsets.
+      const int64_t base = FlatBoxIndex(cx, cy, cz);
+      for (int s = 0; s < 27; ++s) {
+        ScanBox(base + stencil_[s], position, squared_radius, exclude, emit);
+      }
+      return;
+    }
+    const int64_t zlo = std::max<int64_t>(cz - reach, 0);
+    const int64_t zhi = std::min<int64_t>(cz + reach, nz_ - 1);
+    const int64_t ylo = std::max<int64_t>(cy - reach, 0);
+    const int64_t yhi = std::min<int64_t>(cy + reach, ny_ - 1);
+    const int64_t xlo = std::max<int64_t>(cx - reach, 0);
+    const int64_t xhi = std::min<int64_t>(cx + reach, nx_ - 1);
+    for (int64_t z = zlo; z <= zhi; ++z) {
+      for (int64_t y = ylo; y <= yhi; ++y) {
+        for (int64_t x = xlo; x <= xhi; ++x) {
+          ScanBox(FlatBoxIndex(x, y, z), position, squared_radius, exclude, emit);
+        }
+      }
+    }
+  }
 
   const Param* param_;
 
   Real3 lower_;
   Real3 upper_;
   real_t box_length_ = 1;
+  real_t inv_box_length_ = 1;
   real_t largest_diameter_ = 0;
   int64_t nx_ = 0, ny_ = 0, nz_ = 0;
   uint16_t timestamp_ = 0;
@@ -108,6 +198,14 @@ class UniformGridEnvironment : public Environment {
   std::vector<std::atomic<uint64_t>> boxes_;
   std::vector<uint32_t> successors_;
   std::vector<Agent*> flat_agents_;
+  // SoA mirror of the search-critical agent attributes, filled by Update in
+  // the same pass as flat_agents_ (so it shares the NUMA-ordered layout).
+  std::vector<real_t> pos_x_;
+  std::vector<real_t> pos_y_;
+  std::vector<real_t> pos_z_;
+  std::vector<real_t> diameters_;
+  // Flat-index offsets of the 3x3x3 cube around an interior box.
+  std::array<int64_t, 27> stencil_{};
 };
 
 }  // namespace bdm

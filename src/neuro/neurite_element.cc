@@ -101,16 +101,20 @@ Real3 NeuriteElement::CalculateDisplacement(const InteractionForce* force,
   Agent* right = daughter_right_.GetUid().IsValid()
                      ? static_cast<Agent*>(daughter_right_.Get())
                      : nullptr;
-  env->ForEachNeighbor(*this, radius * radius, [&](Agent* neighbor, real_t) {
-    if (neighbor == mother || neighbor == left || neighbor == right) {
-      return;
-    }
-    const Real3 f = force->Calculate(this, neighbor);
-    if (f.SquaredNorm() > 0) {
-      total += f;
-      ++non_zero;
-    }
-  });
+  const Real3& my_pos = GetPosition();
+  const real_t my_diameter = GetDiameter();
+  env->ForEachNeighborData(
+      *this, radius * radius, [&](const Environment::NeighborData& nb) {
+        if (nb.agent == mother || nb.agent == left || nb.agent == right) {
+          return;
+        }
+        const Real3 f = force->Calculate(this, my_pos, my_diameter, nb.agent,
+                                         nb.position, nb.diameter);
+        if (f.SquaredNorm() > 0) {
+          total += f;
+          ++non_zero;
+        }
+      });
 
   *non_zero_forces = non_zero;
   if (total.SquaredNorm() < param.force_threshold_squared) {

@@ -6,10 +6,15 @@
 
 namespace bdm {
 
-Real3 HertzianForce::Calculate(const Agent* lhs, const Agent* rhs) const {
-  const Real3 comp = lhs->GetPosition() - rhs->GetPosition();
-  const real_t r1 = lhs->GetDiameter() * real_t{0.5};
-  const real_t r2 = rhs->GetDiameter() * real_t{0.5};
+Real3 HertzianForce::Calculate(const Agent* lhs, const Real3& lhs_pos,
+                               real_t lhs_diameter, const Agent* rhs,
+                               const Real3& rhs_pos,
+                               real_t rhs_diameter) const {
+  (void)lhs;
+  (void)rhs;
+  const Real3 comp = lhs_pos - rhs_pos;
+  const real_t r1 = lhs_diameter * real_t{0.5};
+  const real_t r2 = rhs_diameter * real_t{0.5};
   const real_t sum_radii = r1 + r2;
   const real_t d2 = comp.SquaredNorm();
   const real_t decay_length = sum_radii * adhesion_decay_;

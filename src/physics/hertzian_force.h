@@ -22,7 +22,10 @@ class HertzianForce : public InteractionForce {
         adhesion_(adhesion),
         adhesion_decay_(adhesion_decay) {}
 
-  Real3 Calculate(const Agent* lhs, const Agent* rhs) const override;
+  using InteractionForce::Calculate;
+  Real3 Calculate(const Agent* lhs, const Real3& lhs_pos, real_t lhs_diameter,
+                  const Agent* rhs, const Real3& rhs_pos,
+                  real_t rhs_diameter) const override;
 
   real_t stiffness() const { return stiffness_; }
 

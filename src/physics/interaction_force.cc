@@ -7,9 +7,17 @@
 namespace bdm {
 
 Real3 InteractionForce::Calculate(const Agent* lhs, const Agent* rhs) const {
-  const Real3 comp = lhs->GetPosition() - rhs->GetPosition();
-  const real_t r1 = lhs->GetDiameter() * real_t{0.5};
-  const real_t r2 = rhs->GetDiameter() * real_t{0.5};
+  return Calculate(lhs, lhs->GetPosition(), lhs->GetDiameter(), rhs,
+                   rhs->GetPosition(), rhs->GetDiameter());
+}
+
+Real3 InteractionForce::Calculate(const Agent* lhs, const Real3& lhs_pos,
+                                  real_t lhs_diameter, const Agent* rhs,
+                                  const Real3& rhs_pos,
+                                  real_t rhs_diameter) const {
+  const Real3 comp = lhs_pos - rhs_pos;
+  const real_t r1 = lhs_diameter * real_t{0.5};
+  const real_t r2 = rhs_diameter * real_t{0.5};
   const real_t sum_radii = r1 + r2;
   const real_t d2 = comp.SquaredNorm();
   const real_t outer = sum_radii * (1 + attraction_range_);

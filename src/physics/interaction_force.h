@@ -25,8 +25,20 @@ class InteractionForce {
   virtual ~InteractionForce() = default;
 
   /// Force exerted on `lhs` by `rhs`. Returns the zero vector when the
-  /// agents are out of interaction range.
-  virtual Real3 Calculate(const Agent* lhs, const Agent* rhs) const;
+  /// agents are out of interaction range. Convenience wrapper that reads
+  /// position and diameter from the agents and forwards to the virtual
+  /// geometry overload below.
+  Real3 Calculate(const Agent* lhs, const Agent* rhs) const;
+
+  /// The virtual core: positions and diameters are passed explicitly so hot
+  /// callers (the mechanical-forces kernel fed by the environment's SoA
+  /// mirror, see Environment::ForEachNeighborData) never re-read them
+  /// through the Agent objects. The agent pointers remain available for
+  /// non-geometric state (e.g. the AdhesionScale hook reads cell types).
+  /// Force implementations override THIS overload.
+  virtual Real3 Calculate(const Agent* lhs, const Real3& lhs_pos,
+                          real_t lhs_diameter, const Agent* rhs,
+                          const Real3& rhs_pos, real_t rhs_diameter) const;
 
   real_t repulsion() const { return repulsion_; }
   real_t attraction() const { return attraction_; }

@@ -126,6 +126,35 @@ TEST_P(EnvironmentCorrectness, PositionAnchoredSearchMatches) {
   }
 }
 
+// The index-aware callback must agree with the plain one and serve geometry
+// that matches the agents (nothing moved since Update, so the environment's
+// snapshot equals the live state).
+TEST_P(EnvironmentCorrectness, NeighborDataMatchesPlainSearch) {
+  const EnvCase c = GetParam();
+  EnvFixture fix;
+  fix.AddRandomCells(c.num_agents, c.space, 10, c.seed);
+  auto env = Make(fix.param_, c.type);
+  env->Update(*fix.rm_, fix.pool_.get());
+  const real_t radius = 10 * c.radius_factor;
+  const real_t squared_radius = radius * radius;
+  fix.rm_->ForEachAgent([&](Agent* query, AgentHandle) {
+    std::multiset<AgentUid> data_path;
+    env->ForEachNeighborData(
+        *query, squared_radius, [&](const Environment::NeighborData& nb) {
+          data_path.insert(nb.agent->GetUid());
+          EXPECT_LE(nb.squared_distance, squared_radius);
+          EXPECT_NEAR(nb.squared_distance,
+                      nb.position.SquaredDistance(query->GetPosition()), 1e-9);
+          for (int i = 0; i < 3; ++i) {
+            EXPECT_DOUBLE_EQ(nb.position[i], nb.agent->GetPosition()[i]);
+          }
+          EXPECT_DOUBLE_EQ(nb.diameter, nb.agent->GetDiameter());
+        });
+    ASSERT_EQ(data_path, fix.EnvNeighbors(env.get(), *query, squared_radius))
+        << "query uid " << query->GetUid();
+  });
+}
+
 TEST_P(EnvironmentCorrectness, EmptySimulationIsSafe) {
   EnvFixture fix;
   auto env = Make(fix.param_, GetParam().type);
@@ -248,6 +277,88 @@ TEST(UniformGridTest, DimensionChangeReallocates) {
     total += grid.GetBoxCount(b);
   }
   EXPECT_EQ(total, 2u);
+}
+
+// Drives the 16-bit timestamp across the wrap point (0xFFFF -> clear -> 1).
+// Without the wrap-clear, boxes stamped in the pre-wrap era would read as
+// populated again once the counter coincides, corrupting searches.
+TEST(UniformGridTest, TimestampWrapKeepsSearchesCorrect) {
+  EnvFixture fix;
+  fix.AddRandomCells(300, 120, 10, 31);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());  // fresh boxes array, timestamp 1
+  grid.SetTimestampForTesting(0xFFFE);
+  const real_t squared_radius = 100;
+  for (int update = 0; update < 4; ++update) {
+    grid.Update(*fix.rm_, fix.pool_.get());  // 0xFFFF, wrap-clear to 1, 2, 3
+    uint64_t total = 0;
+    for (int64_t b = 0; b < grid.GetNumBoxes(); ++b) {
+      total += grid.GetBoxCount(b);
+    }
+    ASSERT_EQ(total, fix.rm_->GetNumAgents()) << "update " << update;
+    fix.rm_->ForEachAgent([&](Agent* query, AgentHandle) {
+      ASSERT_EQ(fix.EnvNeighbors(&grid, *query, squared_radius),
+                fix.BruteForceNeighbors(*query, squared_radius))
+          << "update " << update << " query uid " << query->GetUid();
+    });
+  }
+}
+
+// Pins the reach == 1 stencil fast path against a brute-force reference:
+// radius == box length guarantees reach 1, and the 11^3 grid has plenty of
+// interior boxes taking the stencil as well as boundary boxes taking the
+// general clamped scan.
+TEST(UniformGridTest, FastPathMatchesReferenceScan) {
+  EnvFixture fix;
+  fix.param_.fixed_box_length = 10;
+  fix.AddRandomCells(800, 110, 8, 37);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  ASSERT_GE(grid.GetDimensions()[0], 3);  // interior boxes exist
+  const real_t squared_radius = grid.GetBoxLength() * grid.GetBoxLength();
+  fix.rm_->ForEachAgent([&](Agent* query, AgentHandle) {
+    ASSERT_EQ(fix.EnvNeighbors(&grid, *query, squared_radius),
+              fix.BruteForceNeighbors(*query, squared_radius))
+        << "query uid " << query->GetUid();
+  });
+}
+
+// Two tiny agents at opposite corners of a 1e12-sized space: the naive box
+// count (extent / diameter per dimension, cubed) would overflow int64. The
+// guard must coarsen the grid instead of overflowing or allocating.
+TEST(UniformGridTest, HugeSparseSpaceDoesNotOverflow) {
+  EnvFixture fix;
+  auto* origin = new Cell({0, 0, 0}, 1e-3);
+  fix.rm_->AddAgent(origin);
+  fix.rm_->AddAgent(new Cell({1e12, 1e12, 1e12}, 1e-3));
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  const auto dims = grid.GetDimensions();
+  EXPECT_GT(dims[0], 0);
+  EXPECT_LE(grid.GetNumBoxes(), int64_t{1} << 22);  // cap plus headroom
+  // Searches stay correct on the coarsened grid.
+  int neighbors = 0;
+  grid.ForEachNeighbor(*origin, 1.0, [&](Agent*, real_t) { ++neighbors; });
+  EXPECT_EQ(neighbors, 0);
+  int found = 0;
+  grid.ForEachNeighbor(Real3{0.1, 0, 0}, 1.0,
+                       [&](Agent* agent, real_t) {
+                         EXPECT_EQ(agent, origin);
+                         ++found;
+                       });
+  EXPECT_EQ(found, 1);
+}
+
+// The footprint report must account for every per-agent array the grid owns:
+// agent pointers, successor links, and the four SoA mirror arrays.
+TEST(UniformGridTest, MemoryFootprintCoversSoAMirror) {
+  EnvFixture fix;
+  fix.AddRandomCells(1000, 100, 10, 41);
+  UniformGridEnvironment grid(fix.param_);
+  grid.Update(*fix.rm_, fix.pool_.get());
+  const size_t per_agent =
+      sizeof(Agent*) + sizeof(uint32_t) + 4 * sizeof(real_t);
+  EXPECT_GE(grid.MemoryFootprint(), fix.rm_->GetNumAgents() * per_agent);
 }
 
 TEST(UniformGridTest, MemoryFootprintGrowsWithAgents) {
