@@ -39,6 +39,13 @@ inline uint64_t Scaled(uint64_t base) {
   return static_cast<uint64_t>(base * ScaleFactor());
 }
 
+/// True when the binary runs as a `bench-smoke` ctest (BDM_BENCH_SMOKE=1):
+/// benches shrink to toy sizes whose only purpose is catching bit-rot.
+inline bool SmokeMode() {
+  const char* env = std::getenv("BDM_BENCH_SMOKE");
+  return env != nullptr && env[0] == '1';
+}
+
 /// Bytes currently allocated from the glibc heap (normal arena plus
 /// mmapped chunks). Robust at small scales where RSS only moves in pages.
 inline size_t HeapUsedBytes() {

@@ -11,6 +11,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/accel/offload_displacement_op.cc" "src/CMakeFiles/bdm.dir/accel/offload_displacement_op.cc.o" "gcc" "src/CMakeFiles/bdm.dir/accel/offload_displacement_op.cc.o.d"
   "/root/repo/src/baseline/serial_engine.cc" "src/CMakeFiles/bdm.dir/baseline/serial_engine.cc.o" "gcc" "src/CMakeFiles/bdm.dir/baseline/serial_engine.cc.o.d"
   "/root/repo/src/continuum/diffusion_grid.cc" "src/CMakeFiles/bdm.dir/continuum/diffusion_grid.cc.o" "gcc" "src/CMakeFiles/bdm.dir/continuum/diffusion_grid.cc.o.d"
+  "/root/repo/src/continuum/diffusion_kernels.cc" "src/CMakeFiles/bdm.dir/continuum/diffusion_kernels.cc.o" "gcc" "src/CMakeFiles/bdm.dir/continuum/diffusion_kernels.cc.o.d"
+  "/root/repo/src/continuum/diffusion_reference.cc" "src/CMakeFiles/bdm.dir/continuum/diffusion_reference.cc.o" "gcc" "src/CMakeFiles/bdm.dir/continuum/diffusion_reference.cc.o.d"
   "/root/repo/src/core/agent.cc" "src/CMakeFiles/bdm.dir/core/agent.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/agent.cc.o.d"
   "/root/repo/src/core/cell.cc" "src/CMakeFiles/bdm.dir/core/cell.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/cell.cc.o.d"
   "/root/repo/src/core/default_ops.cc" "src/CMakeFiles/bdm.dir/core/default_ops.cc.o" "gcc" "src/CMakeFiles/bdm.dir/core/default_ops.cc.o.d"

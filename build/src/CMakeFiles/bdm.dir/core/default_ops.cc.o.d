@@ -222,10 +222,12 @@ src/CMakeFiles/bdm.dir/core/default_ops.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/math/real.h /root/repo/src/core/agent.h \
- /root/repo/src/core/agent_uid.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/math/real.h /root/repo/src/memory/aligned_buffer.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/agent.h /root/repo/src/core/agent_uid.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/behavior.h \
  /root/repo/src/core/resource_manager.h \
  /root/repo/src/core/execution_context.h /root/repo/src/math/random.h \
@@ -261,6 +263,5 @@ src/CMakeFiles/bdm.dir/core/default_ops.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/env/environment.h \
- /root/repo/src/core/function_ref.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/function_ref.h \
  /root/repo/src/physics/interaction_force.h

@@ -255,13 +255,14 @@ src/CMakeFiles/bdm.dir/core/simulation.cc.o: \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/numa/topology.h \
  /usr/include/c++/12/cassert /usr/include/assert.h \
  /root/repo/src/continuum/diffusion_grid.h \
+ /root/repo/src/memory/aligned_buffer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/resource_manager.h \
  /root/repo/src/core/agent_handle.h \
  /root/repo/src/sched/numa_thread_pool.h \
  /usr/include/c++/12/condition_variable /root/repo/src/core/scheduler.h \
  /root/repo/src/core/operation.h /root/repo/src/env/kd_tree.h \
  /root/repo/src/env/environment.h /root/repo/src/core/function_ref.h \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/env/octree.h /root/repo/src/env/uniform_grid.h \
  /root/repo/src/memory/memory_manager.h /usr/include/c++/12/shared_mutex \
  /root/repo/src/physics/interaction_force.h

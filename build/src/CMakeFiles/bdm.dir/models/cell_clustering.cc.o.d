@@ -234,10 +234,12 @@ src/CMakeFiles/bdm.dir/models/cell_clustering.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
- /root/repo/src/core/cell.h /root/repo/src/core/agent.h \
- /root/repo/src/core/agent_uid.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/memory/aligned_buffer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/cell.h \
+ /root/repo/src/core/agent.h /root/repo/src/core/agent_uid.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/behavior.h \
  /root/repo/src/core/resource_manager.h \
  /root/repo/src/core/agent_handle.h \
@@ -260,6 +262,5 @@ src/CMakeFiles/bdm.dir/models/cell_clustering.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/env/environment.h \
- /root/repo/src/core/function_ref.h /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/core/function_ref.h \
  /root/repo/src/models/common_behaviors.h

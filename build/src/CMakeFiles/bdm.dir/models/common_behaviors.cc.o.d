@@ -227,7 +227,9 @@ src/CMakeFiles/bdm.dir/models/common_behaviors.cc.o: \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/cell.h \
+ /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/memory/aligned_buffer.h /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/core/cell.h \
  /root/repo/src/core/agent.h /root/repo/src/core/agent_uid.h \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \

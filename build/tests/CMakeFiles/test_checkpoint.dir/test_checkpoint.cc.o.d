@@ -321,11 +321,11 @@ tests/CMakeFiles/test_checkpoint.dir/test_checkpoint.cc.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/math/real.h \
- /root/repo/src/core/cell.h /root/repo/src/core/agent.h \
- /root/repo/src/core/agent_uid.h /usr/include/c++/12/mutex \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
- /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/behavior.h \
- /root/repo/src/core/resource_manager.h \
+ /root/repo/src/memory/aligned_buffer.h /root/repo/src/core/cell.h \
+ /root/repo/src/core/agent.h /root/repo/src/core/agent_uid.h \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
+ /root/repo/src/core/behavior.h /root/repo/src/core/resource_manager.h \
  /root/repo/src/core/agent_handle.h \
  /root/repo/src/core/execution_context.h /root/repo/src/math/random.h \
  /root/repo/src/core/param.h /usr/include/c++/12/thread \

@@ -330,7 +330,8 @@ tests/CMakeFiles/test_simulation.dir/test_simulation.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/continuum/diffusion_grid.h /root/repo/src/core/cell.h \
+ /root/repo/src/continuum/diffusion_grid.h \
+ /root/repo/src/memory/aligned_buffer.h /root/repo/src/core/cell.h \
  /root/repo/src/core/resource_manager.h \
  /root/repo/src/core/agent_handle.h \
  /root/repo/src/sched/numa_thread_pool.h \

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <cassert>
 #include <cmath>
 
+#include "continuum/diffusion_kernels.h"
 #include "sched/numa_thread_pool.h"
 
 namespace bdm {
@@ -12,6 +14,8 @@ namespace bdm {
 namespace {
 
 /// Lock-free add for real_t values written concurrently by many threads.
+/// Retained for DepositMode::kAtomic (the seed behavior and the baseline of
+/// the bench_diffusion deposit A/B).
 void AtomicAdd(real_t* target, real_t value) {
   std::atomic_ref<real_t> ref(*target);
   real_t expected = ref.load(std::memory_order_relaxed);
@@ -22,51 +26,90 @@ void AtomicAdd(real_t* target, real_t value) {
 
 }  // namespace
 
+/// std::barrier completion functor for the parallel Step (must be noexcept).
+struct DiffusionStepBarrierAction {
+  DiffusionGrid* grid;
+  void operator()() noexcept { grid->OnStepBarrier(); }
+};
+
 DiffusionGrid::DiffusionGrid(std::string name, real_t diffusion_coefficient,
                              real_t decay, int resolution)
     : name_(std::move(name)),
       diffusion_coefficient_(diffusion_coefficient),
       decay_(decay),
-      resolution_(std::max(resolution, 2)) {}
+      resolution_(std::max(resolution, 2)),
+      deposit_logs_(kMaxDepositSlots) {}
 
-void DiffusionGrid::Initialize(const Real3& lower, const Real3& upper) {
+void DiffusionGrid::Initialize(const Real3& lower, const Real3& upper,
+                               NumaThreadPool* pool) {
   lower_ = lower;
   real_t extent = 0;
   for (int c = 0; c < 3; ++c) {
     extent = std::max(extent, upper[c] - lower[c]);
   }
   voxel_length_ = std::max<real_t>(extent / (resolution_ - 1), 1e-6);
+  inv_voxel_length_ = 1 / voxel_length_;
   for (int c = 0; c < 3; ++c) {
     upper_[c] = lower_[c] + voxel_length_ * (resolution_ - 1);
   }
-  const int64_t n =
-      static_cast<int64_t>(resolution_) * resolution_ * resolution_;
-  c1_.assign(n, 0);
-  c2_.assign(n, 0);
+  const int64_t n = resolution_;
+  const int64_t plane = n * n;
+  c1_.Reset(n * plane);
+  c2_.Reset(n * plane);
+  for (DepositLog& log : deposit_logs_) {
+    if (log.dirty) {
+      log.Clear();
+    }
+  }
+  deposits_pending_.store(false, std::memory_order_relaxed);
+  EnsureSlabPartition(pool);
+  // First touch: each worker zeroes the z-slab it will later flush and
+  // step, so field pages are materialized on the domain that computes on
+  // them. The serial path simply zeroes everything from the caller.
+  auto zero_slab = [&](int64_t z_lo, int64_t z_hi, int) {
+    std::fill(c1_.data() + z_lo * plane, c1_.data() + z_hi * plane, real_t{0});
+    std::fill(c2_.data() + z_lo * plane, c2_.data() + z_hi * plane, real_t{0});
+  };
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->RunSlabs({slab_bounds_}, zero_slab);
+  } else {
+    zero_slab(0, n, 0);
+  }
   initialized_ = true;
 }
 
 void DiffusionGrid::SetInitialValue(
-    const std::function<real_t(const Real3&)>& value) {
+    const std::function<real_t(const Real3&)>& value, NumaThreadPool* pool) {
   assert(initialized_);
+  // Deposits logged before this call would otherwise survive the overwrite
+  // and be (incorrectly) added on the next flush.
+  FlushDeposits();
+  EnsureSlabPartition(pool);
   const int64_t n = resolution_;
-  for (int64_t z = 0; z < n; ++z) {
-    for (int64_t y = 0; y < n; ++y) {
-      for (int64_t x = 0; x < n; ++x) {
-        const Real3 center = {lower_.x + x * voxel_length_,
-                              lower_.y + y * voxel_length_,
-                              lower_.z + z * voxel_length_};
-        c1_[Flat(x, y, z)] = value(center);
+  auto fill_slab = [&](int64_t z_lo, int64_t z_hi, int) {
+    for (int64_t z = z_lo; z < z_hi; ++z) {
+      for (int64_t y = 0; y < n; ++y) {
+        for (int64_t x = 0; x < n; ++x) {
+          const Real3 center = {lower_.x + x * voxel_length_,
+                                lower_.y + y * voxel_length_,
+                                lower_.z + z * voxel_length_};
+          c1_[Flat(x, y, z)] = value(center);
+        }
       }
     }
+  };
+  if (pool != nullptr && pool->NumThreads() > 1) {
+    pool->RunSlabs({slab_bounds_}, fill_slab);
+  } else {
+    fill_slab(0, n, 0);
   }
 }
 
 int64_t DiffusionGrid::VoxelIndex(const Real3& position) const {
   int64_t coords[3];
   for (int c = 0; c < 3; ++c) {
-    const int64_t v = static_cast<int64_t>(
-        std::floor((position[c] - lower_[c]) / voxel_length_ + real_t{0.5}));
+    const int64_t v = static_cast<int64_t>(std::floor(
+        (position[c] - lower_[c]) * inv_voxel_length_ + real_t{0.5}));
     coords[c] = std::clamp<int64_t>(v, 0, resolution_ - 1);
   }
   return Flat(coords[0], coords[1], coords[2]);
@@ -74,16 +117,120 @@ int64_t DiffusionGrid::VoxelIndex(const Real3& position) const {
 
 real_t DiffusionGrid::GetConcentration(const Real3& position) const {
   assert(initialized_);
+  MaybeFlushForRead();
   return c1_[VoxelIndex(position)];
 }
 
-void DiffusionGrid::IncreaseConcentrationBy(const Real3& position, real_t amount) {
+void DiffusionGrid::DepositLog::Prepare() {
+  if (slots.empty()) {  // first deposit from this thread: allocate the table
+    slots.assign(kNumSlots, Entry{-1, 0});
+    used.reserve(kNumSlots);
+  }
+}
+
+void DiffusionGrid::DepositLog::Add(int64_t index, real_t amount) {
+  // Fibonacci hash, linear probing over a handful of slots.
+  const uint64_t hash =
+      static_cast<uint64_t>(index) * UINT64_C(0x9E3779B97F4A7C15);
+  const auto home = static_cast<int>(hash >> (64 - kSlotBits));
+  for (int probe = 0; probe < kMaxProbes; ++probe) {
+    const int s = (home + probe) & (kNumSlots - 1);
+    Entry& e = slots[s];
+    if (e.key == index) {
+      e.sum += amount;
+      return;
+    }
+    if (e.key < 0) {
+      e.key = index;
+      e.sum = amount;
+      used.push_back(s);
+      return;
+    }
+  }
+  overflow.emplace_back(index, amount);
+}
+
+void DiffusionGrid::DepositLog::Clear() {
+  for (const int s : used) {
+    slots[s].key = -1;
+  }
+  used.clear();
+  overflow.clear();
+  dirty = false;
+}
+
+void DiffusionGrid::IncreaseConcentrationBy(const Real3& position,
+                                            real_t amount) {
   assert(initialized_);
-  AtomicAdd(&c1_[VoxelIndex(position)], amount);
+  const int64_t index = VoxelIndex(position);
+  if (deposit_mode_ == DepositMode::kAtomic) {
+    AtomicAdd(&c1_[index], amount);
+    return;
+  }
+  // Per-thread combining log: no contention, no atomics on grid memory.
+  // Slot 0 is any non-pool thread (CurrentThreadId() == -1).
+  const int slot = NumaThreadPool::CurrentThreadId() + 1;
+  assert(slot >= 0 && slot < kMaxDepositSlots);
+  DepositLog& log = deposit_logs_[slot];
+  if (!log.dirty) {
+    // Once per thread per flush cycle: allocate the table if needed and
+    // publish "something is pending". Publishing once instead of per
+    // deposit keeps the shared flag from ping-ponging between the
+    // depositing cores.
+    log.Prepare();
+    log.dirty = true;
+    deposits_pending_.store(true, std::memory_order_relaxed);
+  }
+  log.Add(index, amount);
+}
+
+void DiffusionGrid::ApplyDepositsInRange(int64_t lo, int64_t hi) const {
+  real_t* field = c1_.data();
+  for (const DepositLog& log : deposit_logs_) {
+    if (!log.dirty) {
+      continue;
+    }
+    for (const int s : log.used) {
+      const DepositLog::Entry& e = log.slots[s];
+      if (e.key >= lo && e.key < hi) {
+        field[e.key] += e.sum;
+      }
+    }
+    for (const auto& [index, amount] : log.overflow) {
+      if (index >= lo && index < hi) {
+        field[index] += amount;
+      }
+    }
+  }
+}
+
+void DiffusionGrid::FlushDeposits() const {
+  if (!deposits_pending_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  ApplyDepositsInRange(0, GetNumVolumes());
+  for (DepositLog& log : deposit_logs_) {
+    if (log.dirty) {
+      log.Clear();
+    }
+  }
+  deposits_pending_.store(false, std::memory_order_relaxed);
+}
+
+void DiffusionGrid::MaybeFlushForRead() const {
+  // Inside a pool worker a parallel phase may be running: other threads
+  // could be appending to their logs, so flushing would race. Workers read
+  // the deterministic end-of-previous-step field instead; the logs are
+  // retired at the next Step.
+  if (deposits_pending_.load(std::memory_order_relaxed) &&
+      NumaThreadPool::CurrentThreadId() < 0) {
+    FlushDeposits();
+  }
 }
 
 Real3 DiffusionGrid::GetGradient(const Real3& position) const {
   assert(initialized_);
+  MaybeFlushForRead();
   // No field information outside the grid domain: report a zero gradient
   // instead of extrapolating from clamped voxels (an agent just past the
   // boundary would otherwise chase its own edge deposit outward forever).
@@ -95,8 +242,8 @@ Real3 DiffusionGrid::GetGradient(const Real3& position) const {
   }
   int64_t coords[3];
   for (int c = 0; c < 3; ++c) {
-    const int64_t v = static_cast<int64_t>(
-        std::floor((position[c] - lower_[c]) / voxel_length_ + real_t{0.5}));
+    const int64_t v = static_cast<int64_t>(std::floor(
+        (position[c] - lower_[c]) * inv_voxel_length_ + real_t{0.5}));
     coords[c] = std::clamp<int64_t>(v, 1, resolution_ - 2);
   }
   const real_t inv2h = real_t{0.5} / voxel_length_;
@@ -113,53 +260,96 @@ Real3 DiffusionGrid::GetGradient(const Real3& position) const {
   return gradient;
 }
 
-void DiffusionGrid::Step(real_t dt, NumaThreadPool* pool) {
-  assert(initialized_);
-  // Explicit Euler stability: dt_sub <= h^2 / (6 D).
-  const real_t h2 = voxel_length_ * voxel_length_;
-  const real_t max_dt = diffusion_coefficient_ > 0
-                            ? h2 / (6 * diffusion_coefficient_)
-                            : dt;
-  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / max_dt)));
-  const real_t sub_dt = dt / substeps;
-  for (int s = 0; s < substeps; ++s) {
-    StepOnce(sub_dt, pool);
+void DiffusionGrid::EnsureSlabPartition(NumaThreadPool* pool) {
+  const int threads = pool != nullptr ? pool->NumThreads() : 1;
+  if (slab_threads_ == threads && !slab_bounds_.empty()) {
+    return;
+  }
+  if (pool != nullptr) {
+    slab_bounds_ = pool->MakeSlabPartition(0, resolution_).bounds;
+  } else {
+    slab_bounds_ = {0, resolution_};
+  }
+  slab_threads_ = threads;
+}
+
+void DiffusionGrid::OnStepBarrier() {
+  // Runs on exactly one thread while every worker waits at the barrier.
+  if (!step_flush_done_) {
+    // The deposit logs were applied (range-partitioned) by the workers.
+    for (DepositLog& log : deposit_logs_) {
+      if (log.dirty) {
+        log.Clear();
+      }
+    }
+    deposits_pending_.store(false, std::memory_order_relaxed);
+    step_flush_done_ = true;
+  } else {
+    swap(c1_, c2_);  // publish the substep result
   }
 }
 
-void DiffusionGrid::StepOnce(real_t dt, NumaThreadPool* pool) {
-  const int64_t n = resolution_;
-  const real_t alpha = diffusion_coefficient_ * dt / (voxel_length_ * voxel_length_);
-  const real_t decay_factor = 1 - decay_ * dt;
-  auto step_plane = [&](int64_t z_lo, int64_t z_hi) {
-    for (int64_t z = z_lo; z < z_hi; ++z) {
-      for (int64_t y = 0; y < n; ++y) {
-        for (int64_t x = 0; x < n; ++x) {
-          const int64_t i = Flat(x, y, z);
-          const real_t center = c1_[i];
-          // Out-of-range neighbors: mirror the center (closed / zero-flux)
-          // or read zero (absorbing Dirichlet rim).
-          const real_t edge =
-              boundary_ == BoundaryCondition::kClosed ? center : real_t{0};
-          const real_t xm = x > 0 ? c1_[i - 1] : edge;
-          const real_t xp = x < n - 1 ? c1_[i + 1] : edge;
-          const real_t ym = y > 0 ? c1_[i - n] : edge;
-          const real_t yp = y < n - 1 ? c1_[i + n] : edge;
-          const real_t zm = z > 0 ? c1_[i - n * n] : edge;
-          const real_t zp = z < n - 1 ? c1_[i + n * n] : edge;
-          const real_t laplacian = xm + xp + ym + yp + zm + zp - 6 * center;
-          c2_[i] = (center + alpha * laplacian) * decay_factor;
-        }
-      }
-    }
-  };
-  if (pool != nullptr) {
-    pool->ParallelFor(0, n, 1,
-                      [&](int64_t lo, int64_t hi, int) { step_plane(lo, hi); });
-  } else {
-    step_plane(0, n);
+void DiffusionGrid::Step(real_t dt, NumaThreadPool* pool) {
+  assert(initialized_);
+  // Substep bound: explicit-Euler diffusion stability dt <= h^2 / (6 D) and
+  // decay positivity dt <= 1 / lambda (a larger dt would make the decay
+  // factor 1 - lambda dt negative -> unphysical sign oscillation).
+  const real_t h2 = voxel_length_ * voxel_length_;
+  real_t max_dt = dt;
+  if (diffusion_coefficient_ > 0) {
+    max_dt = std::min(max_dt, h2 / (6 * diffusion_coefficient_));
   }
-  std::swap(c1_, c2_);
+  if (decay_ > 0) {
+    max_dt = std::min<real_t>(max_dt, 1 / decay_);
+  }
+  const int substeps = std::max(1, static_cast<int>(std::ceil(dt / max_dt)));
+  const real_t sub_dt = dt / substeps;
+
+  continuum::StencilParams params;
+  params.n = resolution_;
+  params.alpha = diffusion_coefficient_ * sub_dt / h2;
+  params.decay_factor = std::max<real_t>(0, 1 - decay_ * sub_dt);
+  params.closed = boundary_ == BoundaryCondition::kClosed;
+  auto* kernel = kernel_mode_ == KernelMode::kPeeledVectorized
+                     ? continuum::StepPlanesPeeled
+                     : continuum::StepPlanesBranchy;
+  const int64_t n = resolution_;
+
+  if (pool == nullptr || pool->NumThreads() == 1) {
+    FlushDeposits();
+    for (int s = 0; s < substeps; ++s) {
+      kernel(c1_.data(), c2_.data(), params, 0, n);
+      swap(c1_, c2_);
+    }
+    return;
+  }
+
+  // Parallel path: ONE pool dispatch for the whole Step. Each worker keeps
+  // its z-slab across the deposit flush and all substeps (NUMA placement
+  // matches the first touch done in Initialize); a barrier separates the
+  // substeps, and its completion hook swaps the buffers.
+  EnsureSlabPartition(pool);
+  const int64_t plane = n * n;
+  const bool flush = deposits_pending_.load(std::memory_order_relaxed);
+  step_flush_done_ = !flush;
+  std::barrier sync(pool->NumThreads(), DiffusionStepBarrierAction{this});
+  pool->Run([&](int tid) {
+    const int64_t z_lo = slab_bounds_[tid];
+    const int64_t z_hi = slab_bounds_[tid + 1];
+    if (flush) {
+      // Parallel reduction of the per-thread logs: every worker scans all
+      // logs but applies only the deposits landing in its own slab, so no
+      // two threads ever write the same voxel.
+      ApplyDepositsInRange(z_lo * plane, z_hi * plane);
+      sync.arrive_and_wait();
+    }
+    for (int s = 0; s < substeps; ++s) {
+      if (z_lo < z_hi) {
+        kernel(c1_.data(), c2_.data(), params, z_lo, z_hi);
+      }
+      sync.arrive_and_wait();
+    }
+  });
 }
 
 }  // namespace bdm

@@ -3,9 +3,25 @@
 // The clustering and neuroscience benchmark simulations couple agents to
 // continuum substance fields (Table 1, "diffusion volumes"). The solver is
 // an explicit-Euler 7-point stencil with exponential decay on a regular
-// grid over the simulation space; it substeps automatically to respect the
-// stability bound dt <= h^2 / (6 D). Boundary condition is closed
-// (zero-flux Neumann).
+// grid over the simulation space; it substeps automatically to respect both
+// the diffusion stability bound dt <= h^2 / (6 D) and the decay positivity
+// bound dt <= 1 / lambda. Boundary condition is closed (zero-flux Neumann)
+// or absorbing (Dirichlet c = 0 at the rim).
+//
+// Performance architecture (see DESIGN.md "Diffusion stencil engine"):
+//  - The sweep is split into a branch-free vectorizable interior kernel and
+//    peeled boundary loops (continuum/diffusion_kernels.*). The seed's
+//    branchy kernel is retained as a bitwise-identical reference.
+//  - Agent deposits (IncreaseConcentrationBy) append to per-thread scratch
+//    logs instead of CASing grid memory; the logs are flushed by a parallel
+//    slab-partitioned reduction at the start of Step. During a parallel
+//    phase, readers therefore see the deterministic end-of-previous-step
+//    field; reads from outside a pool (tests, analysis code) flush lazily
+//    and keep the historical read-your-write semantics.
+//  - Parallel stepping uses NumaThreadPool's static z-slab partition: each
+//    worker first-touches, flushes and steps the same contiguous run of
+//    planes every substep (one pool dispatch per Step, with a barrier
+//    between substeps instead of per-substep re-dispatch).
 #ifndef BDM_CONTINUUM_DIFFUSION_GRID_H_
 #define BDM_CONTINUUM_DIFFUSION_GRID_H_
 
@@ -16,6 +32,7 @@
 #include <vector>
 
 #include "math/real3.h"
+#include "memory/aligned_buffer.h"
 
 namespace bdm {
 
@@ -28,21 +45,47 @@ class DiffusionGrid {
     kAbsorbing,  // Dirichlet c=0 at the boundary: substance leaks out
   };
 
+  /// Stencil implementation used by Step. The branchy reference exists for
+  /// tests and the bench_diffusion A/B; both produce bitwise-equal fields.
+  enum class KernelMode {
+    kPeeledVectorized,  // default: peeled boundaries, vectorized interior
+    kBranchyReference,  // seed kernel: per-voxel boundary branches
+  };
+
+  /// How IncreaseConcentrationBy publishes deposits.
+  enum class DepositMode {
+    kBuffered,  // default: per-thread logs, flushed at Step / first read
+    kAtomic,    // seed behavior: CAS loop straight into grid memory
+  };
+
   /// `resolution` is the number of grid points per axis.
   DiffusionGrid(std::string name, real_t diffusion_coefficient, real_t decay,
                 int resolution);
 
   /// (Re)initializes the grid over the axis-aligned box [lower, upper].
-  void Initialize(const Real3& lower, const Real3& upper);
+  /// When a pool is given, each worker zeroes (first-touches) the z-slab it
+  /// will later step, so field pages land on the NUMA domain that computes
+  /// on them.
+  void Initialize(const Real3& lower, const Real3& upper,
+                  NumaThreadPool* pool = nullptr);
 
   /// Fills the field from an initializer evaluated at every voxel center.
-  /// Must be called after Initialize.
-  void SetInitialValue(const std::function<real_t(const Real3&)>& value);
+  /// Must be called after Initialize. Parallelized over the same z-slab
+  /// partition as the solver when a pool is given.
+  void SetInitialValue(const std::function<real_t(const Real3&)>& value,
+                       NumaThreadPool* pool = nullptr);
 
   void SetBoundaryCondition(BoundaryCondition bc) { boundary_ = bc; }
   BoundaryCondition GetBoundaryCondition() const { return boundary_; }
 
+  void SetKernelMode(KernelMode mode) { kernel_mode_ = mode; }
+  KernelMode GetKernelMode() const { return kernel_mode_; }
+
+  void SetDepositMode(DepositMode mode) { deposit_mode_ = mode; }
+  DepositMode GetDepositMode() const { return deposit_mode_; }
+
   /// Advances the field by `dt` (internally substepped for stability).
+  /// Pending deposits are folded in first.
   void Step(real_t dt, NumaThreadPool* pool);
 
   // --- agent coupling --------------------------------------------------------
@@ -52,22 +95,68 @@ class DiffusionGrid {
   /// Thread-safe deposit used by secretion behaviors running in parallel.
   void IncreaseConcentrationBy(const Real3& position, real_t amount);
 
+  /// Applies all buffered deposits to the field. Must not be called while
+  /// other threads are depositing; Step and out-of-pool reads call it
+  /// automatically.
+  void FlushDeposits() const;
+
   // --- accessors -------------------------------------------------------------
   const std::string& GetName() const { return name_; }
   int GetResolution() const { return resolution_; }
   int64_t GetNumVolumes() const { return static_cast<int64_t>(c1_.size()); }
   real_t GetVoxelLength() const { return voxel_length_; }
   size_t MemoryFootprint() const {
-    return (c1_.capacity() + c2_.capacity()) * sizeof(real_t);
+    return (c1_.size() + c2_.size()) * sizeof(real_t);
   }
 
   int64_t VoxelIndex(const Real3& position) const;
 
  private:
+  // One deposit log per potential depositor thread, cache-line separated so
+  // concurrent appends never share a line. Slot 0 is the main thread (pool
+  // CurrentThreadId() == -1), slot t+1 is pool worker t.
+  //
+  // The log is a small open-addressing combining table: repeated deposits
+  // into the same voxel (the common secretion pattern -- many agents per
+  // neighborhood) accumulate in an L1-resident slot instead of streaming an
+  // ever-growing append log to memory. Deposits that miss kMaxProbes slots
+  // spill to the plain {index, amount} overflow vector. Storage is
+  // allocated lazily on a thread's first deposit.
+  struct alignas(64) DepositLog {
+    static constexpr int kSlotBits = 12;
+    static constexpr int kNumSlots = 1 << kSlotBits;
+    static constexpr int kMaxProbes = 8;
+
+    struct Entry {
+      int64_t key;  // voxel index, -1 = empty slot
+      real_t sum;   // accumulated amount
+    };
+
+    bool dirty = false;  // this thread logged something since the last flush
+    std::vector<Entry> slots;  // kNumSlots entries (key and sum share a line)
+    std::vector<int> used;     // occupied slot ids, in first-use order
+    std::vector<std::pair<int64_t, real_t>> overflow;
+
+    void Prepare();  // lazily allocates the table on first use
+    void Add(int64_t index, real_t amount);
+    void Clear();
+  };
+  static constexpr int kMaxDepositSlots = 1 + 256;
+
   int64_t Flat(int64_t x, int64_t y, int64_t z) const {
     return x + resolution_ * (y + resolution_ * z);
   }
-  void StepOnce(real_t dt, NumaThreadPool* pool);
+  /// Recomputes the z-slab partition if `pool` (or its thread count)
+  /// changed since the last call.
+  void EnsureSlabPartition(NumaThreadPool* pool);
+  /// Applies every logged deposit whose flat index falls in [lo, hi).
+  void ApplyDepositsInRange(int64_t lo, int64_t hi) const;
+  /// Flush from a read accessor: only safe (and only done) when the calling
+  /// thread is not a pool worker, i.e. no parallel phase is running.
+  void MaybeFlushForRead() const;
+  /// Barrier completion during parallel stepping: first the deposit logs
+  /// are retired, then the buffers are swapped after every substep.
+  void OnStepBarrier();
 
   std::string name_;
   real_t diffusion_coefficient_;
@@ -77,11 +166,27 @@ class DiffusionGrid {
   Real3 lower_;
   Real3 upper_;  // lower_ + (resolution-1) * voxel_length per axis
   real_t voxel_length_ = 1;
+  real_t inv_voxel_length_ = 1;  // multiply instead of divide in VoxelIndex
   bool initialized_ = false;
   BoundaryCondition boundary_ = BoundaryCondition::kClosed;
+  KernelMode kernel_mode_ = KernelMode::kPeeledVectorized;
+  DepositMode deposit_mode_ = DepositMode::kBuffered;
 
-  std::vector<real_t> c1_;  // current concentrations
-  std::vector<real_t> c2_;  // scratch buffer (swapped every substep)
+  // Field storage. c1_ is mutable because flushing deposits into it does
+  // not change the grid's logical state (deposits are part of that state
+  // the moment they are logged; flushing only changes the representation).
+  mutable AlignedBuffer<real_t> c1_;  // current concentrations
+  AlignedBuffer<real_t> c2_;          // scratch buffer (swapped every substep)
+
+  mutable std::vector<DepositLog> deposit_logs_;
+  mutable std::atomic<bool> deposits_pending_{false};
+
+  // z-slab partition reused across Initialize / SetInitialValue / Step.
+  std::vector<int64_t> slab_bounds_;  // size slab_threads_ + 1
+  int slab_threads_ = 0;
+  bool step_flush_done_ = false;  // barrier phase tracker inside Step
+
+  friend struct DiffusionStepBarrierAction;
 };
 
 }  // namespace bdm

@@ -1,0 +1,83 @@
+// Peeled, vectorizable diffusion stencil. This translation unit is compiled
+// with -O3 (see src/CMakeLists.txt): the interior loop below is a pure
+// contiguous-stride sweep over restrict-qualified rows with no branches, so
+// the compiler auto-vectorizes it. No fast-math flags are involved -- the
+// per-voxel expression and its association order are identical to
+// StepPlanesBranchy, keeping the two kernels bitwise interchangeable.
+
+#include "continuum/diffusion_kernels.h"
+
+namespace bdm::continuum {
+
+namespace {
+
+/// One voxel with the full boundary logic -- the same expression the branchy
+/// reference evaluates. Used only for the peeled rim.
+inline real_t EdgeVoxel(const real_t* src, const StencilParams& p, int64_t x,
+                        int64_t y, int64_t z) {
+  const int64_t n = p.n;
+  const int64_t plane = n * n;
+  const int64_t i = x + n * y + plane * z;
+  const real_t center = src[i];
+  const real_t edge = p.closed ? center : real_t{0};
+  const real_t xm = x > 0 ? src[i - 1] : edge;
+  const real_t xp = x < n - 1 ? src[i + 1] : edge;
+  const real_t ym = y > 0 ? src[i - n] : edge;
+  const real_t yp = y < n - 1 ? src[i + n] : edge;
+  const real_t zm = z > 0 ? src[i - plane] : edge;
+  const real_t zp = z < n - 1 ? src[i + plane] : edge;
+  const real_t laplacian = xm + xp + ym + yp + zm + zp - 6 * center;
+  return (center + p.alpha * laplacian) * p.decay_factor;
+}
+
+/// Full x-row through the boundary logic (used for the z- and y-faces).
+inline void EdgeRow(const real_t* src, real_t* dst, const StencilParams& p,
+                    int64_t y, int64_t z) {
+  const int64_t base = p.n * y + p.n * p.n * z;
+  for (int64_t x = 0; x < p.n; ++x) {
+    dst[base + x] = EdgeVoxel(src, p, x, y, z);
+  }
+}
+
+}  // namespace
+
+void StepPlanesPeeled(const real_t* src, real_t* dst, const StencilParams& p,
+                      int64_t z_lo, int64_t z_hi) {
+  const int64_t n = p.n;
+  const int64_t plane = n * n;
+  const real_t alpha = p.alpha;
+  const real_t decay_factor = p.decay_factor;
+  for (int64_t z = z_lo; z < z_hi; ++z) {
+    if (z == 0 || z == n - 1) {
+      // z-faces: all six neighbors may leave the grid; take the slow row.
+      for (int64_t y = 0; y < n; ++y) {
+        EdgeRow(src, dst, p, y, z);
+      }
+      continue;
+    }
+    EdgeRow(src, dst, p, 0, z);  // y-face
+    for (int64_t y = 1; y < n - 1; ++y) {
+      const int64_t base = n * y + plane * z;
+      // Interior of the row: every neighbor is in bounds, no edge checks.
+      // Six restrict-qualified input rows at contiguous stride 1 -- the
+      // shape the vectorizer wants.
+      const real_t* __restrict row = src + base;
+      const real_t* __restrict ym = src + base - n;
+      const real_t* __restrict yp = src + base + n;
+      const real_t* __restrict zm = src + base - plane;
+      const real_t* __restrict zp = src + base + plane;
+      real_t* __restrict out = dst + base;
+      out[0] = EdgeVoxel(src, p, 0, y, z);
+      for (int64_t x = 1; x < n - 1; ++x) {
+        const real_t center = row[x];
+        const real_t laplacian =
+            row[x - 1] + row[x + 1] + ym[x] + yp[x] + zm[x] + zp[x] - 6 * center;
+        out[x] = (center + alpha * laplacian) * decay_factor;
+      }
+      out[n - 1] = EdgeVoxel(src, p, n - 1, y, z);
+    }
+    EdgeRow(src, dst, p, n - 1, z);  // y-face
+  }
+}
+
+}  // namespace bdm::continuum

@@ -1,0 +1,45 @@
+// Stencil kernels of the diffusion solver, kept in two translation units so
+// the A/B comparison in bench_diffusion is honest:
+//
+//  - StepPlanesBranchy (diffusion_reference.cc) is the seed kernel: every
+//    voxel pays six boundary branches. It is built with the project's
+//    default optimization level and serves as the bitwise reference that
+//    tests and the benchmark compare against.
+//  - StepPlanesPeeled (diffusion_kernels.cc, built with -O3) sweeps the
+//    interior [1, n-1)^3 with no edge checks over contiguous x-rows through
+//    restrict-qualified row pointers (auto-vectorizable), and handles the
+//    boundary faces/edges in separate peeled loops.
+//
+// Both kernels evaluate the exact same floating-point expression in the
+// same association order, so their results are bitwise identical -- a
+// property the tests assert, which lets the engine switch kernels without
+// perturbing any simulation.
+#ifndef BDM_CONTINUUM_DIFFUSION_KERNELS_H_
+#define BDM_CONTINUUM_DIFFUSION_KERNELS_H_
+
+#include <cstdint>
+
+#include "math/real.h"
+
+namespace bdm::continuum {
+
+struct StencilParams {
+  int64_t n = 0;            // grid points per axis
+  real_t alpha = 0;         // D * dt / h^2
+  real_t decay_factor = 1;  // 1 - decay * dt, clamped to >= 0 by the caller
+  bool closed = true;       // closed (zero-flux Neumann) vs absorbing rim
+};
+
+/// Seed kernel: full triple loop with per-voxel boundary branches.
+/// Writes planes [z_lo, z_hi) of `dst` from `src`.
+void StepPlanesBranchy(const real_t* src, real_t* dst, const StencilParams& p,
+                       int64_t z_lo, int64_t z_hi);
+
+/// Optimized kernel: branch-free vectorizable interior, peeled boundaries.
+/// Bitwise-equivalent to StepPlanesBranchy on every voxel.
+void StepPlanesPeeled(const real_t* src, real_t* dst, const StencilParams& p,
+                      int64_t z_lo, int64_t z_hi);
+
+}  // namespace bdm::continuum
+
+#endif  // BDM_CONTINUUM_DIFFUSION_KERNELS_H_

@@ -1,0 +1,37 @@
+// Branchy-scalar reference stencil (the seed implementation of
+// DiffusionGrid::StepOnce). Lives in its own translation unit, built at the
+// project's default optimization level, so the peeled-vectorized kernel in
+// diffusion_kernels.cc (built with -O3) is measured against exactly what the
+// engine shipped before the rework -- see bench_diffusion and
+// DiffusionGridTest.PeeledKernelBitwiseMatchesBranchyReference.
+
+#include "continuum/diffusion_kernels.h"
+
+namespace bdm::continuum {
+
+void StepPlanesBranchy(const real_t* src, real_t* dst, const StencilParams& p,
+                       int64_t z_lo, int64_t z_hi) {
+  const int64_t n = p.n;
+  const int64_t plane = n * n;
+  for (int64_t z = z_lo; z < z_hi; ++z) {
+    for (int64_t y = 0; y < n; ++y) {
+      for (int64_t x = 0; x < n; ++x) {
+        const int64_t i = x + n * y + plane * z;
+        const real_t center = src[i];
+        // Out-of-range neighbors: mirror the center (closed / zero-flux)
+        // or read zero (absorbing Dirichlet rim).
+        const real_t edge = p.closed ? center : real_t{0};
+        const real_t xm = x > 0 ? src[i - 1] : edge;
+        const real_t xp = x < n - 1 ? src[i + 1] : edge;
+        const real_t ym = y > 0 ? src[i - n] : edge;
+        const real_t yp = y < n - 1 ? src[i + n] : edge;
+        const real_t zm = z > 0 ? src[i - plane] : edge;
+        const real_t zp = z < n - 1 ? src[i + plane] : edge;
+        const real_t laplacian = xm + xp + ym + yp + zm + zp - 6 * center;
+        dst[i] = (center + p.alpha * laplacian) * p.decay_factor;
+      }
+    }
+  }
+}
+
+}  // namespace bdm::continuum

@@ -63,6 +63,9 @@ void MechanicalForcesOp::Run(Agent* agent, AgentHandle, int, Simulation* sim) {
 
 void DiffusionOp::Run(Simulation* sim) {
   for (DiffusionGrid* grid : sim->GetAllDiffusionGrids()) {
+    // Each substance is timed separately (sub-bucket of the scheduler's
+    // "diffusion" entry) so multi-substance models show which field is hot.
+    ScopedTimer timer(sim->GetTiming(), "diffusion/" + grid->GetName());
     grid->Step(sim->GetParam().dt, sim->GetThreadPool());
   }
 }

@@ -93,7 +93,9 @@ ExecutionContext* Simulation::GetActiveExecutionContext() {
 DiffusionGrid* Simulation::AddDiffusionGrid(std::unique_ptr<DiffusionGrid> grid,
                                             const Real3& lower,
                                             const Real3& upper) {
-  grid->Initialize(lower, upper);
+  // The pool drives first-touch placement: each worker zeroes the z-slab
+  // it will later step.
+  grid->Initialize(lower, upper, pool_.get());
   diffusion_grids_.push_back(std::move(grid));
   diffusion_ptrs_.push_back(diffusion_grids_.back().get());
   return diffusion_ptrs_.back();

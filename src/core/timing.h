@@ -33,10 +33,15 @@ class TimingAggregator {
     return it == entries_.end() ? 0 : it->second.count;
   }
 
+  /// Sum over top-level buckets. Names containing '/' are sub-timings of a
+  /// parent bucket (e.g. "diffusion/substance_0" inside "diffusion") and
+  /// are excluded to avoid double counting.
   double GrandTotalSeconds() const {
     double total = 0;
     for (const auto& [name, entry] : entries_) {
-      total += entry.seconds;
+      if (name.find('/') == std::string::npos) {
+        total += entry.seconds;
+      }
     }
     return total;
   }

@@ -1,0 +1,76 @@
+// 64-byte-aligned heap buffer that defers page initialization to its user.
+//
+// std::vector::assign zero-fills from the calling thread, which first-touches
+// every page on that thread's NUMA node. The diffusion grid needs the
+// opposite: reserve address space up front, then let each pool worker zero
+// (first-touch) the z-slab it will later step, so pages are materialized on
+// the domain that computes on them (paper Section 4.3's placement argument
+// applied to field data). ::operator new with extended alignment reserves
+// without touching: large requests come from fresh mmap'd pages that the
+// kernel backs lazily on first write. The 64-byte alignment keeps rows of
+// the stencil kernel on cache-line and vector-register boundaries.
+#ifndef BDM_MEMORY_ALIGNED_BUFFER_H_
+#define BDM_MEMORY_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace bdm {
+
+template <typename T>
+class AlignedBuffer {
+ public:
+  static constexpr size_t kAlignment = 64;
+
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t n) { Reset(n); }
+  ~AlignedBuffer() { Release(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept { swap(*this, other); }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    swap(*this, other);
+    return *this;
+  }
+
+  /// Frees the old storage and reserves room for `n` elements. The new
+  /// memory is NOT initialized and its pages are not touched.
+  void Reset(size_t n) {
+    Release();
+    if (n > 0) {
+      data_ = static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t{kAlignment}));
+    }
+    size_ = n;
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  size_t size() const { return size_; }
+
+  friend void swap(AlignedBuffer& a, AlignedBuffer& b) noexcept {
+    std::swap(a.data_, b.data_);
+    std::swap(a.size_, b.size_);
+  }
+
+ private:
+  void Release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t{kAlignment});
+    }
+    data_ = nullptr;
+    size_ = 0;
+  }
+
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_MEMORY_ALIGNED_BUFFER_H_

@@ -5,10 +5,6 @@
 
 namespace bdm {
 
-namespace {
-thread_local int t_worker_id = -1;
-}  // namespace
-
 NumaThreadPool::NumaThreadPool(const Topology& topology) : topology_(topology) {
   workers_.reserve(topology_.NumThreads());
   for (int tid = 0; tid < topology_.NumThreads(); ++tid) {
@@ -27,10 +23,8 @@ NumaThreadPool::~NumaThreadPool() {
   }
 }
 
-int NumaThreadPool::CurrentThreadId() { return t_worker_id; }
-
 void NumaThreadPool::WorkerLoop(int tid) {
-  t_worker_id = tid;
+  internal::t_pool_worker_id = tid;
   uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* job = nullptr;
@@ -55,7 +49,7 @@ void NumaThreadPool::WorkerLoop(int tid) {
 }
 
 void NumaThreadPool::Run(const std::function<void(int)>& job) {
-  assert(t_worker_id == -1 && "Run must not be called from a pool worker");
+  assert(internal::t_pool_worker_id == -1 && "Run must not be called from a pool worker");
   std::unique_lock lock(mutex_);
   job_ = &job;
   pending_ = topology_.NumThreads();
@@ -73,7 +67,7 @@ void NumaThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   grain = std::max<int64_t>(grain, 1);
   // Small trip counts are not worth the dispatch latency.
   if (end - begin <= grain || NumThreads() == 1) {
-    fn(begin, end, std::max(t_worker_id, 0));
+    fn(begin, end, std::max(internal::t_pool_worker_id, 0));
     return;
   }
   std::atomic<int64_t> cursor{begin};
@@ -84,6 +78,43 @@ void NumaThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
         return;
       }
       fn(lo, std::min(lo + grain, end), tid);
+    }
+  });
+}
+
+NumaThreadPool::SlabPartition NumaThreadPool::MakeSlabPartition(
+    int64_t begin, int64_t end) const {
+  const int num_threads = topology_.NumThreads();
+  const int64_t count = std::max<int64_t>(end - begin, 0);
+  SlabPartition partition;
+  partition.bounds.resize(num_threads + 1);
+  // Even per-thread split with the remainder on the first threads. Threads
+  // are numbered contiguously per domain, so this is simultaneously an even
+  // per-domain split: domain d's threads own one contiguous run of slabs.
+  const int64_t base = count / num_threads;
+  const int64_t extra = count % num_threads;
+  int64_t offset = begin;
+  for (int t = 0; t < num_threads; ++t) {
+    partition.bounds[t] = offset;
+    offset += base + (t < extra ? 1 : 0);
+  }
+  partition.bounds[num_threads] = offset;
+  return partition;
+}
+
+void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
+  assert(static_cast<int>(slabs.bounds.size()) == NumThreads() + 1);
+  if (NumThreads() == 1) {
+    if (slabs.bounds[0] < slabs.bounds[1]) {
+      fn(slabs.bounds[0], slabs.bounds[1], 0);
+    }
+    return;
+  }
+  Run([&](int tid) {
+    const int64_t lo = slabs.bounds[tid];
+    const int64_t hi = slabs.bounds[tid + 1];
+    if (lo < hi) {
+      fn(lo, hi, tid);
     }
   });
 }

@@ -23,6 +23,13 @@
 
 namespace bdm {
 
+namespace internal {
+/// Worker id of the calling pool thread (-1 outside any pool). Inline so
+/// per-deposit hot paths (diffusion_grid.cc) resolve it with one TLS load
+/// instead of a cross-TU call.
+inline thread_local int t_pool_worker_id = -1;
+}  // namespace internal
+
 class NumaThreadPool {
  public:
   /// Signature of a per-block callback: (domain, block_index, worker_tid).
@@ -49,6 +56,22 @@ class NumaThreadPool {
   /// use.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain, const RangeFn& fn);
 
+  /// Static, NUMA-aware partition of [begin, end) into one contiguous slab
+  /// per worker thread. bounds[t] .. bounds[t+1] is thread t's slab. Because
+  /// thread ids are contiguous within a domain (numa/topology.h), the slabs
+  /// of one domain's threads form a contiguous super-slab per domain. The
+  /// diffusion solver uses the same partition for first-touch page placement
+  /// (Initialize), SetInitialValue, deposit flushing, and every stencil
+  /// substep, so each domain only ever steps the planes whose pages it owns.
+  struct SlabPartition {
+    std::vector<int64_t> bounds;  // size NumThreads() + 1, non-decreasing
+  };
+  SlabPartition MakeSlabPartition(int64_t begin, int64_t end) const;
+
+  /// Runs `fn(bounds[t], bounds[t+1], t)` on every worker t whose slab is
+  /// non-empty. One dispatch, static schedule -- no shared cursor.
+  void RunSlabs(const SlabPartition& slabs, const RangeFn& fn);
+
   /// NUMA-aware iteration over blocks (paper Fig. 2). `blocks_per_domain[d]`
   /// blocks exist in domain d; `fn` is invoked exactly once per block. With
   /// `numa_aware == false` the domain structure is ignored and all blocks go
@@ -59,7 +82,7 @@ class NumaThreadPool {
 
   /// Thread id of the calling pool worker, or -1 when called from a thread
   /// that does not belong to any pool.
-  static int CurrentThreadId();
+  static int CurrentThreadId() { return internal::t_pool_worker_id; }
 
  private:
   struct Cursor {

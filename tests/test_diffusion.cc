@@ -204,6 +204,231 @@ TEST(DiffusionGridTest, GaussianSpreadMatchesAnalyticWidth) {
   EXPECT_NEAR(variance, 2 * diffusion * t, 2 * diffusion * t * 0.25);
 }
 
+// --- decay substep bound (regression) --------------------------------------
+
+TEST(DiffusionGridTest, LargeDecayTimesDtStaysPhysical) {
+  // decay * dt = 1.5 > 1: the seed kernel's decay factor 1 - decay*dt went
+  // negative, flipping the field's sign every step. The bound dt <= 1/decay
+  // now forces substepping (here: 2 substeps with factor 0.25).
+  DiffusionGrid grid("s", 0, 7.5, 8);  // decay only, no diffusion
+  grid.Initialize({0, 0, 0}, {10, 10, 10});
+  grid.IncreaseConcentrationBy({5, 5, 5}, 8);
+  real_t prev = grid.GetConcentration({5, 5, 5});
+  EXPECT_DOUBLE_EQ(prev, 8);
+  for (int i = 0; i < 4; ++i) {
+    grid.Step(0.2, nullptr);
+    const real_t c = grid.GetConcentration({5, 5, 5});
+    EXPECT_GE(c, 0);       // never unphysical
+    EXPECT_LE(c, prev);    // monotone decay, no oscillation
+    prev = c;
+  }
+  EXPECT_LT(prev, 8 * 0.1);  // decay actually happened
+}
+
+// --- kernel equivalence -----------------------------------------------------
+
+namespace kernel_ab {
+
+std::vector<real_t> Run(DiffusionGrid::KernelMode mode, NumaThreadPool* pool,
+                        DiffusionGrid::BoundaryCondition bc) {
+  const int res = 20;
+  DiffusionGrid grid("s", 120, 0.3, res);
+  grid.SetKernelMode(mode);
+  grid.SetBoundaryCondition(bc);
+  grid.Initialize({0, 0, 0}, {100, 100, 100}, pool);
+  grid.SetInitialValue(
+      [](const Real3& p) {
+        return std::sin(p.x * 0.13) + real_t{0.5} * std::cos(p.y * 0.07) +
+               p.z * 0.01 + 1;
+      },
+      pool);
+  for (int i = 0; i < 5; ++i) {
+    grid.Step(0.25, pool);
+  }
+  std::vector<real_t> samples;
+  const real_t h = grid.GetVoxelLength();
+  for (int z = 0; z < res; ++z) {
+    for (int y = 0; y < res; ++y) {
+      for (int x = 0; x < res; ++x) {
+        samples.push_back(grid.GetConcentration({x * h, y * h, z * h}));
+      }
+    }
+  }
+  return samples;
+}
+
+}  // namespace kernel_ab
+
+TEST(DiffusionGridTest, PeeledKernelBitwiseMatchesBranchyReference) {
+  NumaThreadPool pool(Topology(4, 2));
+  for (auto bc : {DiffusionGrid::BoundaryCondition::kClosed,
+                  DiffusionGrid::BoundaryCondition::kAbsorbing}) {
+    const auto reference =
+        kernel_ab::Run(DiffusionGrid::KernelMode::kBranchyReference, nullptr, bc);
+    const auto peeled_serial =
+        kernel_ab::Run(DiffusionGrid::KernelMode::kPeeledVectorized, nullptr, bc);
+    const auto peeled_pool =
+        kernel_ab::Run(DiffusionGrid::KernelMode::kPeeledVectorized, &pool, bc);
+    ASSERT_EQ(reference.size(), peeled_serial.size());
+    for (size_t i = 0; i < reference.size(); ++i) {
+      // Bitwise equality: same expression, same association order.
+      ASSERT_EQ(reference[i], peeled_serial[i]) << "voxel " << i;
+      ASSERT_EQ(reference[i], peeled_pool[i]) << "voxel " << i;
+    }
+  }
+}
+
+TEST(DiffusionGridTest, EmptySlabsWhenThreadsExceedPlanes) {
+  // More workers than z-planes: some slabs are empty, the barrier must
+  // still complete and results must match the serial sweep.
+  NumaThreadPool pool(Topology(8, 2));
+  auto run = [&](NumaThreadPool* p) {
+    DiffusionGrid grid("s", 60, 0, 3);
+    grid.Initialize({0, 0, 0}, {10, 10, 10}, p);
+    grid.IncreaseConcentrationBy({5, 5, 5}, 12);
+    for (int i = 0; i < 3; ++i) {
+      grid.Step(0.05, p);
+    }
+    std::vector<real_t> out;
+    for (int x = 0; x < 3; ++x) {
+      out.push_back(grid.GetConcentration({x * 5.0, 5, 5}));
+    }
+    return out;
+  };
+  const auto parallel = run(&pool);
+  const auto serial = run(nullptr);
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parallel[i], serial[i]);
+  }
+}
+
+// --- parallel SetInitialValue ----------------------------------------------
+
+TEST(DiffusionGridTest, SetInitialValueParallelMatchesSerial) {
+  NumaThreadPool pool(Topology(4, 2));
+  auto field = [](const Real3& p) { return p.x * 2 + p.y * 0.5 - p.z; };
+  DiffusionGrid parallel_grid("s", 10, 0, 16);
+  parallel_grid.Initialize({0, 0, 0}, {30, 30, 30}, &pool);
+  parallel_grid.SetInitialValue(field, &pool);
+  DiffusionGrid serial_grid("s", 10, 0, 16);
+  serial_grid.Initialize({0, 0, 0}, {30, 30, 30});
+  serial_grid.SetInitialValue(field);
+  const real_t h = serial_grid.GetVoxelLength();
+  for (int z = 0; z < 16; ++z) {
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        const Real3 p = {x * h, y * h, z * h};
+        ASSERT_DOUBLE_EQ(parallel_grid.GetConcentration(p),
+                         serial_grid.GetConcentration(p));
+      }
+    }
+  }
+}
+
+// --- mass budget: closed + decay vs absorbing -------------------------------
+
+TEST(DiffusionGridTest, ClosedBoundaryFollowsExactDecayLawAbsorbingLeaksMore) {
+  // dt below both substep bounds -> exactly one substep, so the closed grid
+  // must scale total mass by exactly (1 - decay*dt); the absorbing grid
+  // additionally loses substance through the rim.
+  const real_t decay = 0.4;
+  const real_t dt = 0.1;
+  auto make = [&](DiffusionGrid::BoundaryCondition bc) {
+    auto grid = std::make_unique<DiffusionGrid>("s", 40, decay, 12);
+    grid->SetBoundaryCondition(bc);
+    grid->Initialize({0, 0, 0}, {60, 60, 60});
+    grid->SetInitialValue(
+        [](const Real3& p) { return 1 + 0.01 * p.x + 0.02 * p.y; });
+    return grid;
+  };
+  auto mass = [](const DiffusionGrid& grid) {
+    const real_t h = grid.GetVoxelLength();
+    double total = 0;
+    for (int z = 0; z < 12; ++z) {
+      for (int y = 0; y < 12; ++y) {
+        for (int x = 0; x < 12; ++x) {
+          total += grid.GetConcentration({x * h, y * h, z * h});
+        }
+      }
+    }
+    return total;
+  };
+  auto closed = make(DiffusionGrid::BoundaryCondition::kClosed);
+  auto absorbing = make(DiffusionGrid::BoundaryCondition::kAbsorbing);
+  const double before = mass(*closed);
+  ASSERT_DOUBLE_EQ(before, mass(*absorbing));
+  closed->Step(dt, nullptr);
+  absorbing->Step(dt, nullptr);
+  const double expected = before * (1 - decay * dt);
+  EXPECT_NEAR(mass(*closed), expected, std::abs(expected) * 1e-9);
+  EXPECT_LT(mass(*absorbing), expected * (1 - 1e-6));
+}
+
+// --- concurrent deposits (tsan-labeled binary) ------------------------------
+
+TEST(DiffusionGridTest, ConcurrentDepositsFlushLosslesslyThroughStep) {
+  constexpr int kThreads = 4;
+  constexpr int kDepositsPerThread = 1000;
+  NumaThreadPool pool(Topology(kThreads, 2));
+  DiffusionGrid grid("s", 0, 0, 16);  // identity stencil: pure flush check
+  grid.Initialize({0, 0, 0}, {15, 15, 15}, &pool);
+  pool.Run([&](int tid) {
+    for (int k = 0; k < kDepositsPerThread; ++k) {
+      // Overlapping targets across threads to stress the flush reduction.
+      const real_t x = static_cast<real_t>((k + tid) % 16);
+      const real_t y = static_cast<real_t>(k % 16);
+      grid.IncreaseConcentrationBy({x, y, 7}, 0.5);
+    }
+  });
+  grid.Step(0.1, &pool);  // parallel slab-partitioned flush
+  double total = 0;
+  for (int z = 0; z < 16; ++z) {
+    for (int y = 0; y < 16; ++y) {
+      for (int x = 0; x < 16; ++x) {
+        total += grid.GetConcentration({static_cast<real_t>(x),
+                                        static_cast<real_t>(y),
+                                        static_cast<real_t>(z)});
+      }
+    }
+  }
+  // Powers of two sum exactly: nothing may be lost or double-applied.
+  EXPECT_DOUBLE_EQ(total, kThreads * kDepositsPerThread * 0.5);
+}
+
+TEST(DiffusionGridTest, ConcurrentDepositsFlushLosslesslyThroughRead) {
+  constexpr int kThreads = 4;
+  constexpr int kDepositsPerThread = 500;
+  NumaThreadPool pool(Topology(kThreads, 2));
+  DiffusionGrid grid("s", 0, 0, 8);
+  grid.Initialize({0, 0, 0}, {7, 7, 7}, &pool);
+  pool.Run([&](int tid) {
+    for (int k = 0; k < kDepositsPerThread; ++k) {
+      grid.IncreaseConcentrationBy(
+          {static_cast<real_t>((k + tid) % 8), 3, 3}, 0.25);
+    }
+  });
+  // First out-of-pool read triggers the serial lazy flush.
+  double total = 0;
+  for (int x = 0; x < 8; ++x) {
+    total += grid.GetConcentration({static_cast<real_t>(x), 3, 3});
+  }
+  EXPECT_DOUBLE_EQ(total, kThreads * kDepositsPerThread * 0.25);
+}
+
+TEST(DiffusionGridTest, AtomicDepositModeKeepsSeedSemantics) {
+  NumaThreadPool pool(Topology(4, 2));
+  DiffusionGrid grid("s", 0, 0, 8);
+  grid.SetDepositMode(DiffusionGrid::DepositMode::kAtomic);
+  grid.Initialize({0, 0, 0}, {7, 7, 7});
+  pool.Run([&](int) {
+    for (int k = 0; k < 500; ++k) {
+      grid.IncreaseConcentrationBy({3, 3, 3}, 0.5);
+    }
+  });
+  // CAS deposits are immediately visible, no flush involved.
+  EXPECT_DOUBLE_EQ(grid.GetConcentration({3, 3, 3}), 4 * 500 * 0.5);
+}
+
 class DiffusionResolutionSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(DiffusionResolutionSweep, VoxelIndexRoundTripsGridPoints) {

@@ -67,7 +67,10 @@ TEST(ClusteringModelTest, CellsClusterOverTime) {
   config.space = 150;
   models::clustering::Build(&sim, config);
   const real_t before = models::clustering::SameTypeNeighborFraction(&sim, 30);
-  sim.Simulate(120);
+  // 200 iterations: at 120 the metric sat a hair above the threshold and any
+  // FP-ordering change (e.g. the order deposits are summed into the field)
+  // flipped the outcome; by 200 the clustering signal is unambiguous.
+  sim.Simulate(200);
   const real_t after = models::clustering::SameTypeNeighborFraction(&sim, 30);
   // Random mix starts near 0.5; chemotaxis toward own substance raises it.
   EXPECT_NEAR(before, 0.5, 0.1);
