@@ -133,6 +133,7 @@ inline std::vector<OptLevel> OptimizationLadder() {
          p->sort_with_extra_memory = false;
          p->use_bdm_memory_manager = false;
          p->detect_static_agents = false;
+         p->pair_symmetric_forces = false;
        }},
       {"+ optimized uniform grid",
        [](Param* p) { p->environment = EnvironmentType::kUniformGrid; }},
@@ -147,6 +148,8 @@ inline std::vector<OptLevel> OptimizationLadder() {
        [](Param* p) { p->sort_with_extra_memory = true; }},
       {"+ static agent detection",
        [](Param* p) { p->detect_static_agents = true; }},
+      {"+ pair-symmetric forces",
+       [](Param* p) { p->pair_symmetric_forces = true; }},
   };
 }
 

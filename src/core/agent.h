@@ -88,6 +88,13 @@ class Agent {
   /// Applies a displacement previously computed by CalculateDisplacement.
   virtual void ApplyDisplacement(const Real3& displacement, const Param& param);
 
+  /// Whether this agent's CalculateDisplacement deviates from the generic
+  /// pairwise collision response (extra force terms, neighbor exclusions).
+  /// The pair-symmetric mechanics engine assumes the total force is a sum of
+  /// symmetric pair forces; while any agent with custom mechanics is alive,
+  /// the engine falls back to the per-agent path for everyone.
+  virtual bool HasCustomMechanics() const { return false; }
+
   // --- static-agent mechanism (Section 5) -----------------------------------
   bool IsStatic() const { return is_static_; }
   /// Clears the agent's staticness for the next iteration. Thread-safe: any

@@ -42,7 +42,11 @@ void BehaviorOp::Run(Agent* agent, AgentHandle, int tid, Simulation* sim) {
   agent->RunBehaviors(sim->GetExecutionContext(tid));
 }
 
-void MechanicalForcesOp::Run(Agent* agent, AgentHandle, int, Simulation* sim) {
+namespace {
+
+// Per-agent mechanics step shared by MechanicalForcesOp (the fused-loop
+// engine) and MechanicalForcesPairOp's custom-mechanics fallback.
+void RunPerAgentMechanics(Agent* agent, Simulation* sim) {
   const Param& param = sim->GetParam();
   if (param.detect_static_agents && agent->IsStatic()) {
     return;  // the expensive pairwise force loop is provably redundant
@@ -59,6 +63,55 @@ void MechanicalForcesOp::Run(Agent* agent, AgentHandle, int, Simulation* sim) {
   if (displacement.SquaredNorm() > 0) {
     agent->ApplyDisplacement(displacement, param);
   }
+}
+
+}  // namespace
+
+void MechanicalForcesOp::Run(Agent* agent, AgentHandle, int, Simulation* sim) {
+  RunPerAgentMechanics(agent, sim);
+}
+
+void MechanicalForcesPairOp::Run(Simulation* sim) {
+  auto* rm = sim->GetResourceManager();
+  auto* env = sim->GetEnvironment();
+  const Param& param = sim->GetParam();
+  if (rm->GetNumCustomMechanicsAgents() > 0 || env->DenseAgents() == nullptr) {
+    // Custom-mechanics agents (neurite springs with kin exclusion) make the
+    // "total force = sum of symmetric pair forces" premise false, so the
+    // whole iteration runs the per-agent reference path.
+    rm->ForEachAgentParallel(
+        [&](Agent* agent, AgentHandle, int) { RunPerAgentMechanics(agent, sim); });
+    return;
+  }
+  const real_t radius = env->GetInteractionRadius();
+  accumulator_.Accumulate(*env, *sim->GetInteractionForce(), radius * radius,
+                          param.detect_static_agents, sim->GetThreadPool());
+  Agent* const* agents = env->DenseAgents();
+  accumulator_.Flush(
+      sim->GetThreadPool(),
+      [&](uint32_t index, const Real3& total, int non_zero_forces, int) {
+        Agent* agent = agents[index];
+        // Same skip as the per-agent path: a static agent is neither woken
+        // nor displaced. (Its pairs with awake partners were still computed
+        // above -- the awake side needs the force.)
+        if (param.detect_static_agents && agent->IsStatic()) {
+          return;
+        }
+        if (non_zero_forces > 1) {
+          agent->WakeUp();
+        }
+        if (total.SquaredNorm() < param.force_threshold_squared) {
+          return;
+        }
+        Real3 displacement = total * (param.dt / param.viscosity);
+        const real_t norm = displacement.Norm();
+        if (norm > param.max_displacement) {
+          displacement *= param.max_displacement / norm;
+        }
+        if (displacement.SquaredNorm() > 0) {
+          agent->ApplyDisplacement(displacement, param);
+        }
+      });
 }
 
 void DiffusionOp::Run(Simulation* sim) {

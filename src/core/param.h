@@ -57,6 +57,11 @@ struct Param {
   bool use_bdm_memory_manager = true;
   /// O6: skip collision forces for provably static agents (Section 5).
   bool detect_static_agents = false;
+  /// Pair-symmetric mechanics: compute every pairwise collision force once
+  /// (half-stencil pair traversal + per-thread accumulators) instead of
+  /// twice, exploiting Newton's third law. When false, the per-agent
+  /// reference path (Cell::CalculateDisplacement per agent) runs instead.
+  bool pair_symmetric_forces = true;
 
   // --- memory manager ------------------------------------------------------
   NumaPoolAllocator::Config memory;  // mem_mgr_growth_rate & friends

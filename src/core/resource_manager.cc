@@ -76,10 +76,23 @@ void ResourceManager::AddAgent(Agent* agent) {
     agent->SetUid(uid_generator_->Generate());
   }
   EnsureUidMapCapacity();
-  const int domain = round_robin_domain_;
-  round_robin_domain_ = (round_robin_domain_ + 1) % GetNumDomains();
+  // A pool worker keeps the agent on its own domain (first-touch locality:
+  // the worker that creates an agent is the one about to initialize it);
+  // out-of-pool callers -- model setup on the main thread -- balance
+  // round-robin.
+  int domain;
+  const int worker = NumaThreadPool::CurrentThreadId();
+  if (worker >= 0) {
+    domain = pool_->topology().DomainOfThread(worker);
+  } else {
+    domain = round_robin_domain_;
+    round_robin_domain_ = (round_robin_domain_ + 1) % GetNumDomains();
+  }
   agents_[domain].push_back(agent);
   RegisterAgent(agent, {static_cast<uint16_t>(domain), agents_[domain].size() - 1});
+  if (agent->HasCustomMechanics()) {
+    ++num_custom_mechanics_;
+  }
 }
 
 void ResourceManager::ForEachAgent(
@@ -187,6 +200,9 @@ void ResourceManager::CommitRemovalsSerial(std::vector<AgentUid>& removals) {
     }
     UnregisterAgent(uid);
     uid_generator_->Recycle(uid);
+    if (doomed->HasCustomMechanics()) {
+      --num_custom_mechanics_;
+    }
     delete doomed;
   }
 }
@@ -206,6 +222,9 @@ void ResourceManager::CommitRemovalsParallel(std::vector<AgentUid>& removals) {
     doomed.push_back(agents_[handle.numa_domain][handle.index]);
     UnregisterAgent(uid);
     uid_generator_->Recycle(uid);
+    if (doomed.back()->HasCustomMechanics()) {
+      --num_custom_mechanics_;
+    }
   }
   for (int d = 0; d < GetNumDomains(); ++d) {
     RemoveFromDomainParallel(d, per_domain[d]);
@@ -365,6 +384,9 @@ void ResourceManager::CommitAdditionsSerial(
       agents_[domain].push_back(agent);
       RegisterAgent(agent, {static_cast<uint16_t>(domain),
                             agents_[domain].size() - 1});
+      if (agent->HasCustomMechanics()) {
+        ++num_custom_mechanics_;
+      }
     }
   }
 }
@@ -382,6 +404,11 @@ void ResourceManager::CommitAdditionsParallel(
     const int d = contexts[c]->numa_domain();
     offset[c] = agents_[d].size() + domain_growth[d];
     domain_growth[d] += contexts[c]->new_agents().size();
+    for (Agent* agent : contexts[c]->new_agents()) {
+      if (agent->HasCustomMechanics()) {
+        ++num_custom_mechanics_;
+      }
+    }
   }
   for (int d = 0; d < GetNumDomains(); ++d) {
     agents_[d].resize(agents_[d].size() + domain_growth[d]);

@@ -41,6 +41,12 @@ class ResourceManager {
   }
   int GetNumDomains() const { return static_cast<int>(agents_.size()); }
 
+  /// Number of live agents whose mechanics deviate from the generic pairwise
+  /// collision response (Agent::HasCustomMechanics). Maintained by the
+  /// serial parts of AddAgent/Commit; the pair-symmetric force engine
+  /// consults it to decide whether the half-stencil pair path is valid.
+  int64_t GetNumCustomMechanicsAgents() const { return num_custom_mechanics_; }
+
   Agent* GetAgent(const AgentUid& uid) const;
   AgentHandle GetAgentHandle(const AgentUid& uid) const;
   Agent* GetAgent(const AgentHandle& handle) const {
@@ -50,9 +56,11 @@ class ResourceManager {
 
   // --- mutation --------------------------------------------------------------
   /// Serial addition used during model initialization. Takes ownership and
-  /// assigns a uid when the agent has none. Agents are spread round-robin
-  /// over domains (the Morton balancing later replaces this with a spatial
-  /// partition).
+  /// assigns a uid when the agent has none. When called from a pool worker
+  /// the agent is placed on the worker's own NUMA domain (so its pages and
+  /// its pointer slot stay local to the thread that will most likely touch
+  /// it); out-of-pool callers spread agents round-robin over domains (the
+  /// Morton balancing later replaces this with a spatial partition).
   void AddAgent(Agent* agent);
 
   /// Commits all buffered additions and removals from the per-thread
@@ -110,6 +118,7 @@ class ResourceManager {
   std::vector<std::vector<Agent*>> agents_;  // one vector per NUMA domain
   std::vector<UidMapEntry> uid_map_;
   int round_robin_domain_ = 0;
+  int64_t num_custom_mechanics_ = 0;
 };
 
 }  // namespace bdm

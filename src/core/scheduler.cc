@@ -22,7 +22,15 @@ Scheduler::Scheduler(Simulation* sim) : sim_(sim) {
     pre_ops_.push_back(std::make_unique<StaticnessOp>());
   }
   agent_ops_.push_back(std::make_unique<BehaviorOp>());
-  agent_ops_.push_back(std::make_unique<MechanicalForcesOp>());
+  if (param.pair_symmetric_forces) {
+    // The pair engine needs the whole agent population at once (it walks
+    // pairs, not agents), so it runs as a standalone right after the fused
+    // agent loop -- the pipeline order behaviors -> mechanics -> diffusion
+    // -> commit is unchanged.
+    post_ops_.push_back(std::make_unique<MechanicalForcesPairOp>());
+  } else {
+    agent_ops_.push_back(std::make_unique<MechanicalForcesOp>());
+  }
   post_ops_.push_back(std::make_unique<DiffusionOp>());
   post_ops_.push_back(std::make_unique<CommitOp>());
 }
@@ -30,35 +38,32 @@ Scheduler::Scheduler(Simulation* sim) : sim_(sim) {
 Scheduler::~Scheduler() = default;
 
 bool Scheduler::RemoveOp(const std::string& name) {
-  auto erase_from = [&](auto& ops) {
+  bool removed = false;
+  ForEachOpList([&](auto& ops) {
     auto it = std::find_if(ops.begin(), ops.end(),
                            [&](const auto& op) { return op->GetName() == name; });
     if (it == ops.end()) {
       return false;
     }
     ops.erase(it);
-    return true;
-  };
-  return erase_from(pre_ops_) || erase_from(agent_ops_) || erase_from(post_ops_);
+    removed = true;
+    return true;  // stop: remove only the first match across all stages
+  });
+  return removed;
 }
 
 OperationBase* Scheduler::GetOp(const std::string& name) {
-  for (auto& op : pre_ops_) {
-    if (op->GetName() == name) {
-      return op.get();
+  OperationBase* found = nullptr;
+  ForEachOpList([&](auto& ops) {
+    for (auto& op : ops) {
+      if (op->GetName() == name) {
+        found = op.get();
+        return true;
+      }
     }
-  }
-  for (auto& op : agent_ops_) {
-    if (op->GetName() == name) {
-      return op.get();
-    }
-  }
-  for (auto& op : post_ops_) {
-    if (op->GetName() == name) {
-      return op.get();
-    }
-  }
-  return nullptr;
+    return false;
+  });
+  return found;
 }
 
 void Scheduler::Simulate(uint64_t iterations) {

@@ -53,6 +53,20 @@ class Scheduler {
  private:
   void ExecuteIteration();
 
+  /// Applies `fn` to pre_ops_, agent_ops_, post_ops_ in pipeline order until
+  /// `fn` returns true. The op lists have different element types, hence the
+  /// generic callback.
+  template <typename Fn>
+  void ForEachOpList(Fn&& fn) {
+    if (fn(pre_ops_)) {
+      return;
+    }
+    if (fn(agent_ops_)) {
+      return;
+    }
+    fn(post_ops_);
+  }
+
   Simulation* sim_;
   uint64_t iteration_ = 0;
   std::vector<std::unique_ptr<StandaloneOperation>> pre_ops_;

@@ -9,6 +9,7 @@
 #define BDM_ENV_ENVIRONMENT_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 #include "core/function_ref.h"
@@ -61,6 +62,41 @@ class Environment {
   /// grid overrides it to serve them from its SoA mirror instead.
   virtual void ForEachNeighborData(const Agent& query, real_t squared_radius,
                                    NeighborDataFn fn) const;
+
+  /// One unordered agent pair emitted by ForEachNeighborPair. The indices
+  /// address the environment's dense agent array (DenseAgents()), which is
+  /// what the pair-symmetric force engine keys its accumulators on.
+  struct NeighborPair {
+    uint32_t a_index;
+    uint32_t b_index;
+    Agent* a;
+    Agent* b;
+    Real3 a_position;
+    Real3 b_position;
+    real_t a_diameter;
+    real_t b_diameter;
+    real_t squared_distance;
+  };
+  /// Pair callback; the int is the pool worker id executing the traversal
+  /// slab (selects the caller's thread-local accumulator).
+  using NeighborPairFn = FunctionRef<void(const NeighborPair&, int)>;
+
+  /// Dense agent array backing the pair traversal: DenseAgents()[i] is the
+  /// agent with dense index i, valid until the next Update. Returns nullptr
+  /// when the environment exposes no dense index (consumers must then fall
+  /// back to per-agent iteration).
+  virtual Agent* const* DenseAgents() const { return nullptr; }
+  virtual uint64_t DenseAgentCount() const { return 0; }
+
+  /// Visits every unordered agent pair within sqrt(squared_radius) exactly
+  /// once, in parallel over the pool's workers (each worker owns a
+  /// contiguous slab of dense indices a_index). Within a pair, a_index <
+  /// b_index always holds. The base implementation runs each slab agent's
+  /// ForEachNeighbor and keeps only forward partners (kd-tree and octree
+  /// use it); the uniform grid overrides it with the half-stencil box
+  /// traversal that never tests a candidate twice.
+  virtual void ForEachNeighborPair(real_t squared_radius, NumaThreadPool* pool,
+                                   NeighborPairFn fn) const;
 
   /// Default interaction radius: derived from the largest agent diameter
   /// observed during the last Update. The mechanical-forces operation uses

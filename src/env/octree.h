@@ -34,6 +34,11 @@ class OctreeEnvironment : public Environment {
   size_t MemoryFootprint() const override;
   std::string GetName() const override { return "octree"; }
 
+  // Build order of agents_ is the dense index: the generic base
+  // ForEachNeighborPair runs on top of it.
+  Agent* const* DenseAgents() const override { return agents_.data(); }
+  uint64_t DenseAgentCount() const override { return agents_.size(); }
+
  private:
   struct Node {
     Real3 center;

@@ -151,10 +151,15 @@ void UniformGridEnvironment::Update(const ResourceManager& rm,
   ny_ = ny;
   nz_ = nz;
   int s = 0;
+  int f = 0;
   for (int64_t dz = -1; dz <= 1; ++dz) {
     for (int64_t dy = -1; dy <= 1; ++dy) {
       for (int64_t dx = -1; dx <= 1; ++dx) {
-        stencil_[s++] = dx + nx_ * (dy + ny_ * dz);
+        const int64_t offset = dx + nx_ * (dy + ny_ * dz);
+        stencil_[s++] = offset;
+        if (dz > 0 || (dz == 0 && (dy > 0 || (dy == 0 && dx > 0)))) {
+          forward_stencil_[f++] = offset;
+        }
       }
     }
   }
@@ -247,6 +252,90 @@ void UniformGridEnvironment::ForEachNeighborData(const Agent& query,
                                {pos_x_[idx], pos_y_[idx], pos_z_[idx]},
                                diameters_[idx], d2});
              });
+}
+
+// Half-stencil pair traversal. Correctness argument:
+//  * Same box: agents inserted earlier follow an agent in the LIFO successor
+//    chain, so walking the chain from agent i emits each intra-box pair
+//    exactly once, from its later-inserted endpoint.
+//  * Different boxes: both boxes of an interacting pair lie in each other's
+//    3x3x3 cube (radius <= box length). Exactly one of the two coordinate
+//    deltas is lexicographically positive, so exactly one endpoint scans the
+//    other's box through the forward half stencil.
+// Each worker owns one contiguous slab of dense indices (the same
+// NUMA-ordered layout the flatten pass produced), so a domain's threads
+// read mostly their own domain's mirror entries.
+void UniformGridEnvironment::ForEachNeighborPair(real_t squared_radius,
+                                                 NumaThreadPool* pool,
+                                                 NeighborPairFn fn) const {
+  constexpr uint32_t kChainEnd = 0xFFFFFFFFu;
+  const int64_t total = static_cast<int64_t>(flat_agents_.size());
+  if (total == 0) {
+    return;
+  }
+  if (squared_radius > box_length_ * box_length_ * (1 + real_t{1e-6})) {
+    // One forward ring only covers radii up to the box length; wider
+    // queries take the generic doubled-search traversal.
+    Environment::ForEachNeighborPair(squared_radius, pool, fn);
+    return;
+  }
+  const auto slabs = pool->MakeSlabPartition(0, total);
+  pool->RunSlabs(slabs, [&](int64_t lo, int64_t hi, int tid) {
+    NeighborPair pair;
+    for (int64_t i = lo; i < hi; ++i) {
+      const Real3 pos{pos_x_[i], pos_y_[i], pos_z_[i]};
+      pair.a_index = static_cast<uint32_t>(i);
+      pair.a = flat_agents_[i];
+      pair.a_position = pos;
+      pair.a_diameter = diameters_[i];
+      const auto emit = [&](uint32_t j, real_t d2) {
+        pair.b_index = j;
+        pair.b = flat_agents_[j];
+        pair.b_position = {pos_x_[j], pos_y_[j], pos_z_[j]};
+        pair.b_diameter = diameters_[j];
+        pair.squared_distance = d2;
+        fn(pair, tid);
+      };
+      // Own box: later-inserted agents were already paired with i when they
+      // walked their own chains; the chain below i holds the earlier ones.
+      for (uint32_t j = successors_[i]; j != kChainEnd; j = successors_[j]) {
+        const real_t dx = pos_x_[j] - pos.x;
+        const real_t dy = pos_y_[j] - pos.y;
+        const real_t dz = pos_z_[j] - pos.z;
+        const real_t d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 <= squared_radius) {
+          emit(j, d2);
+        }
+      }
+      // Forward half stencil.
+      const auto c = BoxCoordinates(pos);
+      if (c[0] >= 1 && c[0] + 1 < nx_ && c[1] >= 1 && c[1] + 1 < ny_ &&
+          c[2] >= 1 && c[2] + 1 < nz_) {
+        const int64_t base = FlatBoxIndex(c[0], c[1], c[2]);
+        for (int s = 0; s < 13; ++s) {
+          ScanBox(base + forward_stencil_[s], pos, squared_radius, nullptr,
+                  emit);
+        }
+      } else {
+        for (int64_t dz = -1; dz <= 1; ++dz) {
+          for (int64_t dy = -1; dy <= 1; ++dy) {
+            for (int64_t dx = -1; dx <= 1; ++dx) {
+              if (!(dz > 0 || (dz == 0 && (dy > 0 || (dy == 0 && dx > 0))))) {
+                continue;
+              }
+              const int64_t x = c[0] + dx, y = c[1] + dy, z = c[2] + dz;
+              if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 ||
+                  z >= nz_) {
+                continue;
+              }
+              ScanBox(FlatBoxIndex(x, y, z), pos, squared_radius, nullptr,
+                      emit);
+            }
+          }
+        }
+      }
+    }
+  });
 }
 
 size_t UniformGridEnvironment::MemoryFootprint() const {

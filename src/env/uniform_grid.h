@@ -55,6 +55,18 @@ class UniformGridEnvironment : public Environment {
   void ForEachNeighborData(const Agent& query, real_t squared_radius,
                            NeighborDataFn fn) const override;
 
+  Agent* const* DenseAgents() const override { return flat_agents_.data(); }
+  uint64_t DenseAgentCount() const override { return flat_agents_.size(); }
+
+  /// Half-stencil pair traversal (DESIGN.md Section 5): each agent pairs
+  /// with the later-inserted agents of its own box (successor chain) and
+  /// with all agents of the 13 forward-neighbor boxes, so every interacting
+  /// pair is visited exactly once. Valid for radii up to the box length
+  /// (the engine's interaction radius); larger radii fall back to the
+  /// generic base traversal.
+  void ForEachNeighborPair(real_t squared_radius, NumaThreadPool* pool,
+                           NeighborPairFn fn) const override;
+
   real_t GetInteractionRadius() const override { return box_length_; }
   Real3 GetLowerBound() const override { return lower_; }
   Real3 GetUpperBound() const override { return upper_; }
@@ -206,6 +218,11 @@ class UniformGridEnvironment : public Environment {
   std::vector<real_t> diameters_;
   // Flat-index offsets of the 3x3x3 cube around an interior box.
   std::array<int64_t, 27> stencil_{};
+  // The 13 offsets whose (dz, dy, dx) triple is lexicographically positive:
+  // the forward half of the 26 surrounding boxes. The backward half of a
+  // box b is exactly the set of boxes whose forward stencil contains b, so
+  // scanning only forward boxes still covers every cross-box pair -- once.
+  std::array<int64_t, 13> forward_stencil_{};
 };
 
 }  // namespace bdm

@@ -86,6 +86,10 @@ class NeuriteElement : public Agent {
   /// Moving the distal point stretches/rotates the spring axis.
   void ApplyDisplacement(const Real3& displacement, const Param& param) override;
 
+  /// Axial spring force and mother/daughter exclusion are not expressible as
+  /// symmetric pair forces; keeps the pair engine on the per-agent path.
+  bool HasCustomMechanics() const override { return true; }
+
   void WriteState(std::ostream& out) const override;
   void ReadState(std::istream& in) override;
 

@@ -49,7 +49,17 @@ void NumaThreadPool::WorkerLoop(int tid) {
 }
 
 void NumaThreadPool::Run(const std::function<void(int)>& job) {
-  assert(internal::t_pool_worker_id == -1 && "Run must not be called from a pool worker");
+  // Nested invocation: a job running on a pool worker dispatched another
+  // pool call (e.g. an agent operation that commits removals). The workers
+  // are all busy in the outer job, so dispatching would deadlock; instead
+  // the calling worker executes the job inline, once, under its own id.
+  // Cursor-based jobs (ParallelFor, ForEachBlock) drain the full range that
+  // way -- one worker, every chunk.
+  const int worker = internal::t_pool_worker_id;
+  if (worker >= 0) {
+    job(worker);
+    return;
+  }
   std::unique_lock lock(mutex_);
   job_ = &job;
   pending_ = topology_.NumThreads();
@@ -104,9 +114,14 @@ NumaThreadPool::SlabPartition NumaThreadPool::MakeSlabPartition(
 
 void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
   assert(static_cast<int>(slabs.bounds.size()) == NumThreads() + 1);
-  if (NumThreads() == 1) {
-    if (slabs.bounds[0] < slabs.bounds[1]) {
-      fn(slabs.bounds[0], slabs.bounds[1], 0);
+  if (NumThreads() == 1 || internal::t_pool_worker_id >= 0) {
+    // Single thread, or a nested call from inside a pool job: process every
+    // slab serially but keep the slab index as the reported tid -- callers
+    // key per-thread buffers on it (diffusion deposits, force accumulators).
+    for (int t = 0; t < NumThreads(); ++t) {
+      if (slabs.bounds[t] < slabs.bounds[t + 1]) {
+        fn(slabs.bounds[t], slabs.bounds[t + 1], t);
+      }
     }
     return;
   }

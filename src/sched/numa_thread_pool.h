@@ -47,7 +47,11 @@ class NumaThreadPool {
   int NumThreads() const { return topology_.NumThreads(); }
 
   /// Runs `job(tid)` on every worker thread and blocks until all return.
-  /// Must be called from outside the pool (typically the main thread).
+  /// When called from a pool worker (a nested pool invocation -- every
+  /// worker is already busy in the outer job, so dispatching would
+  /// deadlock), the calling worker executes `job` inline exactly once under
+  /// its own id. Nested ParallelFor/ForEachBlock calls therefore degrade to
+  /// a serial loop on the caller that still covers the full range.
   void Run(const std::function<void(int)>& job);
 
   /// Dynamically-scheduled parallel loop over [begin, end) in chunks of

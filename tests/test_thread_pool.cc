@@ -169,5 +169,70 @@ INSTANTIATE_TEST_SUITE_P(Shapes, PoolShapes,
                                            std::pair{2, 2}, std::pair{4, 2},
                                            std::pair{8, 4}, std::pair{5, 3}));
 
+// --- nested invocations ------------------------------------------------------
+// A job running on a pool worker may itself call into the pool (e.g. an
+// agent operation that triggers a parallel commit). The nested call must
+// execute inline on the calling worker instead of deadlocking on the busy
+// worker set.
+
+TEST(NumaThreadPoolNestedTest, NestedRunExecutesInlineOnCaller) {
+  NumaThreadPool pool(Topology(4, 2));
+  std::vector<std::atomic<int>> inner_hits(4);
+  std::atomic<int> wrong_tid{0};
+  pool.Run([&](int tid) {
+    pool.Run([&](int inner_tid) {
+      if (inner_tid != tid) {
+        wrong_tid.fetch_add(1);
+      }
+      inner_hits[inner_tid].fetch_add(1);
+    });
+  });
+  EXPECT_EQ(wrong_tid.load(), 0);  // nested job runs under the caller's id
+  for (int t = 0; t < 4; ++t) {
+    EXPECT_EQ(inner_hits[t].load(), 1) << t;  // exactly once per outer worker
+  }
+}
+
+TEST(NumaThreadPoolNestedTest, NestedParallelForCoversRangePerCaller) {
+  NumaThreadPool pool(Topology(4, 2));
+  const int64_t n = 10000;
+  std::vector<std::atomic<int>> touched(n);
+  pool.Run([&](int) {
+    pool.ParallelFor(0, n, 64, [&](int64_t lo, int64_t hi, int) {
+      for (int64_t i = lo; i < hi; ++i) {
+        touched[i].fetch_add(1);
+      }
+    });
+  });
+  // Each of the 4 outer workers drains its own nested loop over the full
+  // range exactly once.
+  for (int64_t i = 0; i < n; ++i) {
+    ASSERT_EQ(touched[i].load(), 4) << i;
+  }
+}
+
+TEST(NumaThreadPoolNestedTest, NestedRunSlabsKeepsSlabIds) {
+  NumaThreadPool pool(Topology(4, 2));
+  const auto slabs = pool.MakeSlabPartition(0, 1000);
+  std::atomic<int64_t> covered{0};
+  std::atomic<int> bad_tid{0};
+  pool.Run([&](int tid) {
+    if (tid != 0) {
+      return;  // one caller is enough; the others stay busy-idle
+    }
+    pool.RunSlabs(slabs, [&](int64_t lo, int64_t hi, int slab_tid) {
+      // Callers key per-thread buffers on the reported tid, so the serial
+      // fallback must report the slab's owner, not the calling worker.
+      if (slab_tid < 0 || slab_tid >= 4 ||
+          lo != slabs.bounds[slab_tid] || hi != slabs.bounds[slab_tid + 1]) {
+        bad_tid.fetch_add(1);
+      }
+      covered.fetch_add(hi - lo);
+    });
+  });
+  EXPECT_EQ(bad_tid.load(), 0);
+  EXPECT_EQ(covered.load(), 1000);
+}
+
 }  // namespace
 }  // namespace bdm
