@@ -1,0 +1,217 @@
+// O2 commit-throughput A/B harness (paper Section 3.2).
+//
+// A proliferation+apoptosis churn workload drives ResourceManager::Commit
+// with both commit paths (param.parallel_commit on and off) and reports the
+// commit time per iteration plus the speedup. Birth/death decisions are a
+// pure hash of (uid, iteration) and are issued in sorted-by-uid order from
+// the main-thread context, so the two runs generate bit-identical uid
+// sequences: the harness asserts the final agent sets match uid-for-uid,
+// the uid map stays bounded (recycling works -- no monotonic growth), and
+// the ConsistencyAudit is clean after the run. Any violation exits nonzero,
+// which turns the bench-smoke ctest into a commit-correctness regression
+// gate.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/cell.h"
+#include "core/consistency_audit.h"
+#include "harness.h"
+
+namespace {
+
+using bdm::AgentUid;
+using bdm::Cell;
+using bdm::ExecutionContext;
+using bdm::Param;
+using bdm::Real3;
+using bdm::Simulation;
+using bdm::real_t;
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Deterministic per-(uid, iteration) random draw in [0, 1).
+double Draw(const AgentUid& uid, uint64_t iteration) {
+  const uint64_t key = (static_cast<uint64_t>(uid.index()) << 32) ^
+                       uid.reused() ^ (iteration * 0xD1B54A32D192ED03ull);
+  return static_cast<double>(SplitMix64(key) >> 11) * 0x1.0p-53;
+}
+
+Real3 HashedPosition(uint64_t key, real_t extent) {
+  const auto coord = [&](uint64_t salt) {
+    return static_cast<real_t>(
+        static_cast<double>(SplitMix64(key ^ salt) >> 11) * 0x1.0p-53 *
+        extent);
+  };
+  return {coord(0x1111), coord(0x2222), coord(0x3333)};
+}
+
+struct ChurnResult {
+  double commit_seconds = 0;
+  uint64_t births = 0;
+  uint64_t deaths = 0;
+  uint64_t final_agents = 0;
+  uint64_t uid_map_final = 0;
+  uint64_t peak_agents = 0;
+  size_t audit_violations = 0;
+  std::vector<AgentUid> final_uids;  // sorted
+};
+
+ChurnResult RunChurn(bool parallel_commit, uint64_t initial,
+                     uint64_t iterations, double churn_rate) {
+  Param param;
+  param.parallel_commit = parallel_commit;
+  param.agent_sort_frequency = 0;  // commit is the only population mutator
+  ChurnResult result;
+  Simulation sim("bench_commit", param);
+  auto* rm = sim.GetResourceManager();
+  const real_t extent = static_cast<real_t>(
+      20.0 * std::cbrt(static_cast<double>(initial)));
+  for (uint64_t i = 0; i < initial; ++i) {
+    rm->AddAgent(new Cell(HashedPosition(i, extent), 10));
+  }
+  ExecutionContext* ctx = sim.GetExecutionContext(-1);  // main-thread context
+
+  std::vector<AgentUid> uids;
+  for (uint64_t iter = 0; iter < iterations; ++iter) {
+    // Decisions are keyed on the uid, not on storage order, and issued in
+    // sorted-by-uid order: the parallel and serial removal paths leave
+    // agents at different positions, but produce the same uid *sets*, so
+    // both runs see identical decision streams and identical generator
+    // traffic (additions draw recycled uids in the same order).
+    uids.clear();
+    rm->ForEachAgent(
+        [&](bdm::Agent* agent, bdm::AgentHandle) {
+          uids.push_back(agent->GetUid());
+        });
+    std::sort(uids.begin(), uids.end());
+    for (const AgentUid& uid : uids) {
+      const double draw = Draw(uid, iter);
+      if (draw < churn_rate) {
+        ctx->RemoveAgent(uid);  // apoptosis
+        ++result.deaths;
+      } else if (draw > 1.0 - churn_rate) {
+        ctx->AddAgent(new Cell(
+            HashedPosition(SplitMix64(uid.index() ^ (iter << 32)), extent),
+            10));  // proliferation
+        ++result.births;
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    rm->Commit(sim.GetAllExecutionContexts());
+    result.commit_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    result.peak_agents = std::max(result.peak_agents, rm->GetNumAgents());
+  }
+
+  result.final_agents = rm->GetNumAgents();
+  result.uid_map_final = rm->UidMapSize();
+  rm->ForEachAgent([&](bdm::Agent* agent, bdm::AgentHandle) {
+    result.final_uids.push_back(agent->GetUid());
+  });
+  std::sort(result.final_uids.begin(), result.final_uids.end());
+  result.audit_violations = bdm::ConsistencyAudit::CheckAll(&sim).size();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using bdm::bench::JsonRecord;
+  const bool smoke = bdm::bench::SmokeMode();
+  const uint64_t initial = std::max<uint64_t>(bdm::bench::Scaled(500'000), 2'000);
+  const uint64_t iterations = smoke ? 4 : 10;
+  // 10% deaths + 10% births per iteration: at the default scale that is
+  // ~100k births+deaths hitting every commit.
+  const double churn_rate = 0.1;
+
+  bdm::bench::PrintHeader(
+      "bench_commit: O2 parallel vs serial commit under churn (" +
+      std::to_string(initial) + " agents, " + std::to_string(iterations) +
+      " iterations)");
+
+  const ChurnResult serial = RunChurn(false, initial, iterations, churn_rate);
+  const ChurnResult parallel = RunChurn(true, initial, iterations, churn_rate);
+
+  bool failed = false;
+  if (serial.final_uids != parallel.final_uids) {
+    std::fprintf(stderr,
+                 "FAIL: parallel and serial commit diverged (%zu vs %zu "
+                 "final uids)\n",
+                 parallel.final_uids.size(), serial.final_uids.size());
+    failed = true;
+  }
+  if (serial.audit_violations != 0 || parallel.audit_violations != 0) {
+    std::fprintf(stderr, "FAIL: ConsistencyAudit violations (serial %zu, "
+                 "parallel %zu)\n",
+                 serial.audit_violations, parallel.audit_violations);
+    failed = true;
+  }
+  // Recycling bound: without uid reuse the map would end near
+  // initial + births; with it, near initial + births/iterations.
+  const uint64_t per_iter_births =
+      std::max<uint64_t>(parallel.births / iterations, 1);
+  const uint64_t bound = 2 * (initial + 3 * per_iter_births);
+  for (const ChurnResult* r : {&serial, &parallel}) {
+    if (r->uid_map_final > bound) {
+      std::fprintf(stderr,
+                   "FAIL: uid map grew to %llu (bound %llu) -- recycling "
+                   "is broken\n",
+                   static_cast<unsigned long long>(r->uid_map_final),
+                   static_cast<unsigned long long>(bound));
+      failed = true;
+    }
+  }
+
+  const double events_per_iter =
+      static_cast<double>(parallel.births + parallel.deaths) /
+      static_cast<double>(iterations);
+  const double serial_ns =
+      serial.commit_seconds / static_cast<double>(iterations) * 1e9;
+  const double parallel_ns =
+      parallel.commit_seconds / static_cast<double>(iterations) * 1e9;
+  const double speedup = parallel_ns > 0 ? serial_ns / parallel_ns : 0;
+
+  std::printf("%-22s %14s %14s\n", "commit path", "ns/iter", "events/iter");
+  std::printf("%-22s %14.0f %14.0f\n", "serial", serial_ns, events_per_iter);
+  std::printf("%-22s %14.0f %14.0f\n", "parallel", parallel_ns,
+              events_per_iter);
+  std::printf("speedup (serial/parallel): %.2fx\n", speedup);
+  std::printf("uid map final: serial %llu, parallel %llu (bound %llu)\n",
+              static_cast<unsigned long long>(serial.uid_map_final),
+              static_cast<unsigned long long>(parallel.uid_map_final),
+              static_cast<unsigned long long>(bound));
+  std::printf("final agents: %llu (uid-for-uid %s)\n",
+              static_cast<unsigned long long>(parallel.final_agents),
+              serial.final_uids == parallel.final_uids ? "MATCH" : "MISMATCH");
+
+  std::vector<JsonRecord> records;
+  records.push_back(
+      {"commit_serial", initial, serial_ns,
+       {{"events_per_iter", events_per_iter},
+        {"uid_map_final", static_cast<double>(serial.uid_map_final)},
+        {"final_agents", static_cast<double>(serial.final_agents)}}});
+  records.push_back(
+      {"commit_parallel", initial, parallel_ns,
+       {{"events_per_iter", events_per_iter},
+        {"uid_map_final", static_cast<double>(parallel.uid_map_final)},
+        {"final_agents", static_cast<double>(parallel.final_agents)},
+        {"speedup_vs_serial", speedup},
+        {"uid_sets_match",
+         serial.final_uids == parallel.final_uids ? 1.0 : 0.0},
+        {"audit_violations",
+         static_cast<double>(parallel.audit_violations)}}});
+  bdm::bench::WriteBenchJson("BENCH_commit.json", records);
+
+  return failed ? 1 : 0;
+}

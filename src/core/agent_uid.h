@@ -9,12 +9,15 @@
 #ifndef BDM_CORE_AGENT_UID_H_
 #define BDM_CORE_AGENT_UID_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <mutex>
 #include <ostream>
 #include <vector>
+
+#include "sched/numa_thread_pool.h"
 
 namespace bdm {
 
@@ -50,17 +53,42 @@ class AgentUid {
 };
 
 /// Thread-safe generator of AgentUids. New uids come from an atomic counter;
-/// uids of removed agents are recycled through a small locked stack so the
-/// uid map does not grow without bound in simulations that delete agents
-/// (the oncology model).
+/// uids of removed agents are recycled so the uid map does not grow without
+/// bound in simulations that delete agents (the oncology model).
+///
+/// The recycle store is sharded, mirroring the O5 allocator's thread-local
+/// free lists: every pool worker owns a private list that only it pushes to
+/// and pops from, so the common Generate() from a behavior (a worker thread
+/// dividing a cell) is lock-free. Off-pool threads -- the main thread, which
+/// runs the commit and therefore issues most Recycle calls -- use a
+/// mutex-protected central list. Worker lists refill from the central list
+/// in batches on a miss and spill half of themselves back past a threshold,
+/// so recycled slots stay visible across threads under imbalanced churn.
 class AgentUidGenerator {
  public:
+  /// Pool workers with id >= kMaxShards share the central list.
+  static constexpr int kMaxShards = 64;
+  /// Uids moved from the central list to a worker shard on a miss.
+  static constexpr size_t kRefillBatch = 64;
+  /// A worker shard past this size spills half to the central list.
+  static constexpr size_t kSpillThreshold = 256;
+
   AgentUid Generate() {
-    {
-      std::scoped_lock lock(mutex_);
-      if (!recycled_.empty()) {
-        AgentUid uid = recycled_.back();
-        recycled_.pop_back();
+    Shard* shard = LocalShard();
+    if (shard != nullptr) {
+      if (shard->list.empty()) {
+        RefillFromCentral(shard);
+      }
+      if (!shard->list.empty()) {
+        const AgentUid uid = shard->list.back();
+        shard->list.pop_back();
+        return AgentUid(uid.index(), uid.reused() + 1);
+      }
+    } else {
+      std::scoped_lock lock(central_mutex_);
+      if (!central_.empty()) {
+        const AgentUid uid = central_.back();
+        central_.pop_back();
         return AgentUid(uid.index(), uid.reused() + 1);
       }
     }
@@ -72,8 +100,16 @@ class AgentUidGenerator {
     if (uid.reused() + 1 == AgentUid::kReusedMax) {
       return;  // retire slots that exhausted their reuse counter
     }
-    std::scoped_lock lock(mutex_);
-    recycled_.push_back(uid);
+    Shard* shard = LocalShard();
+    if (shard != nullptr) {
+      shard->list.push_back(uid);
+      if (shard->list.size() >= kSpillThreshold) {
+        SpillToCentral(shard);
+      }
+      return;
+    }
+    std::scoped_lock lock(central_mutex_);
+    central_.push_back(uid);
   }
 
   /// Upper bound (exclusive) of all indices handed out so far; the uid map
@@ -92,10 +128,63 @@ class AgentUidGenerator {
     }
   }
 
+  /// Number of uids currently parked in the recycle store (all shards plus
+  /// the central list). Audit/test hook: callers must ensure no concurrent
+  /// Generate/Recycle (the pool quiesced between operations).
+  uint64_t NumRecycled() const {
+    std::scoped_lock lock(central_mutex_);
+    uint64_t total = central_.size();
+    for (const Shard& shard : shards_) {
+      total += shard.list.size();
+    }
+    return total;
+  }
+
+  /// Visits every parked uid. Same quiescence requirement as NumRecycled.
+  void ForEachRecycled(const std::function<void(const AgentUid&)>& fn) const {
+    std::scoped_lock lock(central_mutex_);
+    for (const AgentUid& uid : central_) {
+      fn(uid);
+    }
+    for (const Shard& shard : shards_) {
+      for (const AgentUid& uid : shard.list) {
+        fn(uid);
+      }
+    }
+  }
+
  private:
+  struct alignas(64) Shard {
+    std::vector<AgentUid> list;
+  };
+
+  /// The calling pool worker's shard, or nullptr for off-pool threads (and
+  /// workers beyond kMaxShards), which share the central list.
+  Shard* LocalShard() {
+    const int worker = NumaThreadPool::CurrentThreadId();
+    return worker >= 0 && worker < kMaxShards ? &shards_[worker] : nullptr;
+  }
+
+  void RefillFromCentral(Shard* shard) {
+    std::scoped_lock lock(central_mutex_);
+    const size_t take = std::min(kRefillBatch, central_.size());
+    shard->list.insert(shard->list.end(), central_.end() - take,
+                       central_.end());
+    central_.resize(central_.size() - take);
+  }
+
+  void SpillToCentral(Shard* shard) {
+    const size_t keep = kSpillThreshold / 2;
+    std::scoped_lock lock(central_mutex_);
+    central_.insert(central_.end(), shard->list.begin() + keep,
+                    shard->list.end());
+    shard->list.resize(keep);
+  }
+
   std::atomic<AgentUid::Index> counter_{0};
-  std::mutex mutex_;
-  std::vector<AgentUid> recycled_;
+  mutable std::mutex central_mutex_;
+  std::vector<AgentUid> central_;
+  std::array<Shard, kMaxShards> shards_;
 };
 
 }  // namespace bdm

@@ -1,0 +1,170 @@
+#include "core/consistency_audit.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/agent.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "env/environment.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+std::vector<std::string> ConsistencyAudit::CheckResourceManager(
+    const ResourceManager& rm, const AgentUidGenerator& uid_generator) {
+  std::vector<std::string> violations;
+  const auto complain = [&](const std::string& what) {
+    violations.push_back("resource_manager: " + what);
+  };
+  const auto describe = [](const AgentUid& uid, const AgentHandle& handle) {
+    std::ostringstream os;
+    os << "agent " << uid << " at " << handle;
+    return os.str();
+  };
+  const AgentUid::Index watermark = uid_generator.HighWatermark();
+
+  // Forward direction: every stored agent has a coherent uid-map entry that
+  // points back at exactly its position (which also verifies per-domain
+  // placement: the entry's handle names the domain the agent lives in).
+  uint64_t stored = 0;
+  int64_t custom_mechanics = 0;
+  for (uint16_t d = 0; d < rm.agents_.size(); ++d) {
+    const auto& domain = rm.agents_[d];
+    for (uint64_t i = 0; i < domain.size(); ++i) {
+      const AgentHandle here{d, i};
+      ++stored;
+      Agent* agent = domain[i];
+      if (agent == nullptr) {
+        std::ostringstream os;
+        os << "null agent slot at " << here;
+        complain(os.str());
+        continue;
+      }
+      if (agent->HasCustomMechanics()) {
+        ++custom_mechanics;
+      }
+      const AgentUid uid = agent->GetUid();
+      if (!uid.IsValid()) {
+        complain("invalid uid on " + describe(uid, here));
+        continue;
+      }
+      if (uid.index() >= watermark) {
+        complain("uid beyond the generator watermark on " +
+                 describe(uid, here));
+        continue;
+      }
+      if (uid.index() >= rm.uid_map_.size()) {
+        complain("uid beyond the uid map on " + describe(uid, here));
+        continue;
+      }
+      const auto& entry = rm.uid_map_[uid.index()];
+      if (entry.agent != agent || entry.reused != uid.reused()) {
+        complain("uid map entry does not own " + describe(uid, here));
+      } else if (!(entry.handle == here)) {
+        std::ostringstream os;
+        os << "uid map handle " << entry.handle << " disagrees for "
+           << describe(uid, here);
+        complain(os.str());
+      }
+    }
+  }
+
+  // Reverse direction: every live uid-map entry resolves to a stored agent.
+  // Together with the forward pass and live == stored this is a bijection.
+  uint64_t live = 0;
+  for (uint64_t index = 0; index < rm.uid_map_.size(); ++index) {
+    const auto& entry = rm.uid_map_[index];
+    if (entry.agent == nullptr) {
+      if (entry.reused != AgentUid::kReusedMax || entry.handle.IsValid()) {
+        complain("dead uid map entry " + std::to_string(index) +
+                 " keeps a stale reused counter or handle");
+      }
+      continue;
+    }
+    ++live;
+    const AgentUid uid(static_cast<AgentUid::Index>(index), entry.reused);
+    if (!entry.handle.IsValid() ||
+        entry.handle.numa_domain >= rm.agents_.size() ||
+        entry.handle.index >= rm.agents_[entry.handle.numa_domain].size()) {
+      complain("out-of-range handle on " + describe(uid, entry.handle));
+      continue;
+    }
+    if (rm.agents_[entry.handle.numa_domain][entry.handle.index] !=
+        entry.agent) {
+      complain("handle does not resolve to the entry's agent for " +
+               describe(uid, entry.handle));
+    }
+  }
+  if (live != stored) {
+    complain("uid map holds " + std::to_string(live) +
+             " live entries for " + std::to_string(stored) +
+             " stored agents");
+  }
+
+  if (custom_mechanics != rm.GetNumCustomMechanicsAgents()) {
+    complain("custom-mechanics counter is " +
+             std::to_string(rm.GetNumCustomMechanicsAgents()) +
+             ", recount says " + std::to_string(custom_mechanics));
+  }
+
+  // Recycled-uid hygiene: a parked slot must not alias a live agent, must
+  // not be parked twice, and must not exceed the watermark.
+  std::unordered_set<AgentUid::Index> parked;
+  uid_generator.ForEachRecycled([&](const AgentUid& uid) {
+    std::ostringstream os;
+    os << "recycled uid " << uid;
+    if (uid.index() >= watermark) {
+      complain(os.str() + " exceeds the generator watermark");
+    }
+    if (!parked.insert(uid.index()).second) {
+      complain(os.str() + " is parked more than once");
+    }
+    if (uid.index() < rm.uid_map_.size() &&
+        rm.uid_map_[uid.index()].agent != nullptr) {
+      complain(os.str() + " aliases a live uid map entry");
+    }
+  });
+
+  return violations;
+}
+
+std::vector<std::string> ConsistencyAudit::CheckEnvironment(
+    const Environment& env, const ResourceManager& rm) {
+  std::vector<std::string> violations;
+  env.AuditConsistency(rm, &violations);
+  return violations;
+}
+
+std::vector<std::string> ConsistencyAudit::CheckAll(Simulation* sim,
+                                                    bool refresh_environment) {
+  ResourceManager* rm = sim->GetResourceManager();
+  Environment* env = sim->GetEnvironment();
+  if (refresh_environment) {
+    env->Update(*rm, sim->GetThreadPool());
+  }
+  std::vector<std::string> violations =
+      CheckResourceManager(*rm, *sim->GetAgentUidGenerator());
+  const std::vector<std::string> env_violations = CheckEnvironment(*env, *rm);
+  violations.insert(violations.end(), env_violations.begin(),
+                    env_violations.end());
+  return violations;
+}
+
+void ConsistencyAuditOp::Run(Simulation* sim) {
+  // Runs right after UpdateEnvironmentOp, so the index is already fresh.
+  const std::vector<std::string> violations =
+      ConsistencyAudit::CheckAll(sim, /*refresh_environment=*/false);
+  if (violations.empty()) {
+    return;
+  }
+  std::ostringstream os;
+  os << "ConsistencyAudit found " << violations.size() << " violation(s):";
+  for (const std::string& v : violations) {
+    os << "\n  " << v;
+  }
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace bdm

@@ -1,0 +1,72 @@
+// ConsistencyAudit: dynamic-population invariant checker (DESIGN.md O2).
+//
+// The O2 commit pipeline relocates agents constantly (tail swaps, the fused
+// parallel removal, Morton re-sorting, domain balancing), and every
+// relocation must keep the uid map, the per-domain vectors, the derived
+// counters, and the environment's index snapshot mutually consistent. The
+// audit re-derives each invariant from scratch and reports every violation
+// as a human-readable line:
+//  * uid-map <-> agent-vector bijection (every stored agent has exactly one
+//    live map entry pointing back at its position, and vice versa),
+//  * handle/pointer coherence and per-domain placement,
+//  * the num_custom_mechanics_ counter against a full recount,
+//  * recycled-uid hygiene (no parked uid aliases a live agent, no slot is
+//    parked twice, nothing exceeds the generator's high watermark),
+//  * the environment's internal index (the uniform grid's flat array, SoA
+//    mirror, and box chains) against the live agent population.
+//
+// Runs as a scheduler pre-op right after the environment update when
+// Param::audit_interval > 0 (debug/tsan test builds force interval 1 via
+// the BDM_AUDIT_INTERVAL environment variable), and directly from tests and
+// benches via CheckAll.
+#ifndef BDM_CORE_CONSISTENCY_AUDIT_H_
+#define BDM_CORE_CONSISTENCY_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/operation.h"
+
+namespace bdm {
+
+class AgentUidGenerator;
+class Environment;
+class ResourceManager;
+class Simulation;
+
+class ConsistencyAudit {
+ public:
+  /// Verifies the resource manager's invariants (bijection, handles,
+  /// counters, recycled-uid hygiene). Caller must guarantee quiescence: no
+  /// concurrent mutation or generator traffic.
+  static std::vector<std::string> CheckResourceManager(
+      const ResourceManager& rm, const AgentUidGenerator& uid_generator);
+
+  /// Verifies the environment's index snapshot against the resource
+  /// manager. Only meaningful right after an Update (before behaviors move
+  /// agents); delegates to Environment::AuditConsistency.
+  static std::vector<std::string> CheckEnvironment(const Environment& env,
+                                                   const ResourceManager& rm);
+
+  /// Runs every check on a quiesced simulation. `refresh_environment`
+  /// rebuilds the index first so the environment checks compare against
+  /// current state -- the right mode for tests that call the audit at
+  /// arbitrary points. The scheduler op passes false because it runs
+  /// immediately after UpdateEnvironmentOp.
+  static std::vector<std::string> CheckAll(Simulation* sim,
+                                           bool refresh_environment = true);
+};
+
+/// Scheduler pre-op gated by Param::audit_interval; throws
+/// std::runtime_error listing every violation so a corrupted simulation
+/// fails loudly at the iteration that broke it, not iterations later.
+class ConsistencyAuditOp : public StandaloneOperation {
+ public:
+  explicit ConsistencyAuditOp(int frequency)
+      : StandaloneOperation("consistency_audit", frequency) {}
+  void Run(Simulation* sim) override;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_CONSISTENCY_AUDIT_H_

@@ -81,6 +81,14 @@ struct Param {
   /// "force threshold" of the static-agent conditions (Section 5).
   real_t force_threshold_squared = 1e-10;
 
+  // --- correctness tooling -------------------------------------------------
+  /// Run the ConsistencyAudit scheduler op every N iterations; 0 disables
+  /// it. The audit verifies the uid-map <-> agent-vector bijection, the
+  /// custom-mechanics counter, and the environment's index/mirror agreement
+  /// after the environment update, and throws on the first violation.
+  /// Debug/tsan test builds force this to 1 via BDM_AUDIT_INTERVAL.
+  int audit_interval = 0;
+
   // --- misc ----------------------------------------------------------------
   uint64_t random_seed = 4357;
   /// kd-tree leaf size (validated against the optimum in Section 6.9).

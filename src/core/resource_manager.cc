@@ -4,6 +4,7 @@
 #include <cassert>
 #include <functional>
 #include <numeric>
+#include <unordered_set>
 
 namespace bdm {
 
@@ -15,6 +16,7 @@ ResourceManager::ResourceManager(const Param& param, NumaThreadPool* pool,
                                  AgentUidGenerator* uid_generator)
     : param_(param), pool_(pool), uid_generator_(uid_generator) {
   agents_.resize(pool_->topology().NumDomains());
+  domain_mutexes_ = std::make_unique<std::mutex[]>(agents_.size());
 }
 
 ResourceManager::~ResourceManager() {
@@ -51,6 +53,15 @@ AgentHandle ResourceManager::GetAgentHandle(const AgentUid& uid) const {
 
 void ResourceManager::EnsureUidMapCapacity() {
   const AgentUid::Index watermark = uid_generator_->HighWatermark();
+  {
+    std::shared_lock lock(uid_map_mutex_);
+    if (watermark <= uid_map_.size()) {
+      return;
+    }
+  }
+  // Double-checked growth: only the unique holder may reallocate, so entry
+  // writers holding the shared lock never observe a moving vector.
+  std::unique_lock lock(uid_map_mutex_);
   if (watermark > uid_map_.size()) {
     uid_map_.resize(std::max<size_t>(watermark, uid_map_.size() * 2));
   }
@@ -85,13 +96,25 @@ void ResourceManager::AddAgent(Agent* agent) {
   if (worker >= 0) {
     domain = pool_->topology().DomainOfThread(worker);
   } else {
-    domain = round_robin_domain_;
-    round_robin_domain_ = (round_robin_domain_ + 1) % GetNumDomains();
+    domain = static_cast<int>(
+        round_robin_domain_.fetch_add(1, std::memory_order_relaxed) %
+        static_cast<uint32_t>(GetNumDomains()));
   }
-  agents_[domain].push_back(agent);
-  RegisterAgent(agent, {static_cast<uint16_t>(domain), agents_[domain].size() - 1});
+  // Concurrent adders serialize per domain on the push_back; the uid-map
+  // entry write happens under the shared lock so it cannot interleave with
+  // a capacity resize from another adder.
+  AgentHandle handle;
+  {
+    std::scoped_lock lock(domain_mutexes_[domain]);
+    agents_[domain].push_back(agent);
+    handle = {static_cast<uint16_t>(domain), agents_[domain].size() - 1};
+  }
+  {
+    std::shared_lock lock(uid_map_mutex_);
+    RegisterAgent(agent, handle);
+  }
   if (agent->HasCustomMechanics()) {
-    ++num_custom_mechanics_;
+    num_custom_mechanics_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -140,25 +163,46 @@ std::pair<uint64_t, uint64_t> ResourceManager::Commit(
   // vector sizes.
   if (!removals.empty()) {
     // An agent that was added and removed within the same iteration is not
-    // in the uid map yet; drop it from the addition buffers directly.
-    for (auto it = removals.begin(); it != removals.end();) {
-      if (GetAgentHandle(*it).IsValid()) {
-        ++it;
-        continue;
+    // in the uid map yet. One hash set over the pending additions and one
+    // pass over each buffer handle this in O(#additions + #removals); the
+    // uid of a cancelled addition is recycled, otherwise the uid map grows
+    // monotonically under churn.
+    std::unordered_set<AgentUid> pending;
+    for (ExecutionContext* ctx : contexts) {
+      for (Agent* agent : ctx->new_agents()) {
+        pending.insert(agent->GetUid());
       }
+    }
+    std::unordered_set<AgentUid> cancelled;
+    removals.erase(std::remove_if(removals.begin(), removals.end(),
+                                  [&](const AgentUid& uid) {
+                                    if (GetAgentHandle(uid).IsValid()) {
+                                      return false;
+                                    }
+                                    if (pending.count(uid) != 0) {
+                                      cancelled.insert(uid);
+                                    }
+                                    // Cancelled addition or stale duplicate:
+                                    // either way not a live removal.
+                                    return true;
+                                  }),
+                   removals.end());
+    if (!cancelled.empty()) {
       for (ExecutionContext* ctx : contexts) {
         auto& fresh = ctx->new_agents();
-        auto pos = std::find_if(fresh.begin(), fresh.end(), [&](Agent* a) {
-          return a->GetUid() == *it;
-        });
-        if (pos != fresh.end()) {
-          delete *pos;
-          fresh.erase(pos);
-          --num_added;
-          break;
-        }
+        fresh.erase(std::remove_if(fresh.begin(), fresh.end(),
+                                   [&](Agent* agent) {
+                                     if (cancelled.count(agent->GetUid()) ==
+                                         0) {
+                                       return false;
+                                     }
+                                     uid_generator_->Recycle(agent->GetUid());
+                                     delete agent;
+                                     --num_added;
+                                     return true;
+                                   }),
+                    fresh.end());
       }
-      it = removals.erase(it);
     }
     if (param_.parallel_commit) {
       CommitRemovalsParallel(removals);
@@ -201,7 +245,7 @@ void ResourceManager::CommitRemovalsSerial(std::vector<AgentUid>& removals) {
     UnregisterAgent(uid);
     uid_generator_->Recycle(uid);
     if (doomed->HasCustomMechanics()) {
-      --num_custom_mechanics_;
+      num_custom_mechanics_.fetch_sub(1, std::memory_order_relaxed);
     }
     delete doomed;
   }
@@ -223,12 +267,10 @@ void ResourceManager::CommitRemovalsParallel(std::vector<AgentUid>& removals) {
     UnregisterAgent(uid);
     uid_generator_->Recycle(uid);
     if (doomed.back()->HasCustomMechanics()) {
-      --num_custom_mechanics_;
+      num_custom_mechanics_.fetch_sub(1, std::memory_order_relaxed);
     }
   }
-  for (int d = 0; d < GetNumDomains(); ++d) {
-    RemoveFromDomainParallel(d, per_domain[d]);
-  }
+  RemoveFromDomainsParallel(per_domain, doomed.size());
   // Destroy removed agents in parallel; destruction releases behaviors too.
   pool_->ParallelFor(0, static_cast<int64_t>(doomed.size()), 64,
                      [&](int64_t lo, int64_t hi, int) {
@@ -238,119 +280,185 @@ void ResourceManager::CommitRemovalsParallel(std::vector<AgentUid>& removals) {
                      });
 }
 
-void ResourceManager::RemoveFromDomainParallel(
-    int domain, const std::vector<uint64_t>& removed_idx) {
+void ResourceManager::RemoveSwapSerial(int domain,
+                                       const std::vector<uint64_t>& removed_idx) {
   auto& agents = agents_[domain];
-  const uint64_t num_removed = removed_idx.size();
-  if (num_removed == 0) {
+  if (removed_idx.empty()) {
     return;
   }
-  assert(num_removed <= agents.size());
-  const uint64_t new_size = agents.size() - num_removed;
+  assert(removed_idx.size() <= agents.size());
+  std::vector<uint64_t> sorted(removed_idx);
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  uint64_t back = agents.size();
+  for (uint64_t idx : sorted) {
+    --back;
+    if (idx != back) {
+      Agent* moved = agents[back];
+      agents[idx] = moved;
+      UpdateUidMapPosition(moved->GetUid(),
+                           {static_cast<uint16_t>(domain), idx});
+    }
+  }
+  agents.resize(agents.size() - removed_idx.size());
+}
+
+void ResourceManager::RemoveFromDomainsParallel(
+    const std::vector<std::vector<uint64_t>>& per_domain,
+    uint64_t total_removed) {
+  const int num_domains = GetNumDomains();
+  if (total_removed == 0) {
+    return;
+  }
 
   // Below this batch size the pool dispatches cost more than the work; the
   // serial swap loop is the same algorithm with one thread.
-  if (num_removed < 512) {
-    std::vector<uint64_t> sorted(removed_idx);
-    std::sort(sorted.begin(), sorted.end(), std::greater<>());
-    uint64_t back = agents.size();
-    for (uint64_t idx : sorted) {
-      --back;
-      if (idx != back) {
-        Agent* moved = agents[back];
-        agents[idx] = moved;
-        UpdateUidMapPosition(moved->GetUid(),
-                             {static_cast<uint16_t>(domain), idx});
-      }
+  if (total_removed < 512) {
+    for (int d = 0; d < num_domains; ++d) {
+      RemoveSwapSerial(d, per_domain[d]);
     }
-    agents.resize(new_size);
     return;
   }
 
-  // Step 1: auxiliary arrays, both sized by the number of removed agents --
-  // the whole algorithm is O(#removed), independent of #remaining agents.
-  std::vector<uint64_t> to_right(num_removed, kMax);
-  std::vector<uint8_t> not_to_left(num_removed, 0);
+  // Fused across domains: one set of auxiliary arrays where the segment
+  // [seg[d], seg[d+1]) belongs to domain d, so a single classify / compact /
+  // swap dispatch covers every domain's removals instead of running the
+  // five steps domain after domain. Still O(#removed) total, independent of
+  // #remaining agents.
+  std::vector<uint64_t> seg(num_domains + 1, 0);
+  std::vector<uint64_t> new_size(num_domains);
+  for (int d = 0; d < num_domains; ++d) {
+    assert(per_domain[d].size() <= agents_[d].size());
+    seg[d + 1] = seg[d] + per_domain[d].size();
+    new_size[d] = agents_[d].size() - per_domain[d].size();
+  }
+  assert(seg[num_domains] == total_removed);
+  const auto domain_of = [](const std::vector<uint64_t>& offsets, uint64_t k) {
+    return static_cast<int>(std::upper_bound(offsets.begin(), offsets.end(),
+                                             k) -
+                            offsets.begin()) -
+           1;
+  };
 
-  // Step 2: classify every removed index. Indices left of new_size leave a
-  // hole that a live agent must fill (to_right); indices right of new_size
-  // mark their slot as "already dead, nothing to move" (not_to_left).
-  pool_->ParallelFor(0, static_cast<int64_t>(num_removed), 1024,
+  // Step 1: auxiliary arrays, both sized by the total number of removed
+  // agents.
+  std::vector<uint64_t> to_right(total_removed, kMax);
+  std::vector<uint8_t> not_to_left(total_removed, 0);
+
+  // Step 2: classify every removed index. Indices left of the domain's
+  // new_size leave a hole that a live agent must fill (to_right); indices
+  // right of it mark their slot as "already dead, nothing to move"
+  // (not_to_left; idx - new_size stays inside the domain's segment).
+  pool_->ParallelFor(0, static_cast<int64_t>(total_removed), 1024,
                      [&](int64_t lo, int64_t hi, int) {
+                       int d = domain_of(seg, static_cast<uint64_t>(lo));
                        for (int64_t k = lo; k < hi; ++k) {
-                         const uint64_t idx = removed_idx[k];
-                         if (idx < new_size) {
+                         while (static_cast<uint64_t>(k) >= seg[d + 1]) {
+                           ++d;
+                         }
+                         const uint64_t idx = per_domain[d][k - seg[d]];
+                         if (idx < new_size[d]) {
                            to_right[k] = idx;
                          } else {
-                           not_to_left[idx - new_size] = 1;
+                           not_to_left[seg[d] + (idx - new_size[d])] = 1;
                          }
                        }
                      });
 
-  // Step 3: per-thread blocks compact both arrays. not_to_left flips its
-  // meaning to to_left: zeros identify live agents right of new_size that
-  // must move left; their absolute index is block_index + new_size.
+  // Step 3: per-thread blocks compact both arrays, independently inside
+  // every domain's segment. not_to_left flips its meaning to to_left: zeros
+  // identify live agents right of new_size that must move left; their
+  // absolute index is segment_local_index + new_size. The per-block swap
+  // counts live in (domain, thread)-indexed tables.
   const int num_threads = pool_->NumThreads();
-  const uint64_t block =
-      (num_removed + num_threads - 1) / static_cast<uint64_t>(num_threads);
-  std::vector<uint64_t> to_left(num_removed);
-  std::vector<uint64_t> swaps_right(num_threads + 1, 0);
-  std::vector<uint64_t> swaps_left(num_threads + 1, 0);
+  std::vector<uint64_t> block(num_domains);
+  for (int d = 0; d < num_domains; ++d) {
+    block[d] = (per_domain[d].size() + num_threads - 1) /
+               static_cast<uint64_t>(num_threads);
+  }
+  std::vector<uint64_t> to_left(total_removed);
+  std::vector<uint64_t> swaps_right(num_domains * (num_threads + 1), 0);
+  std::vector<uint64_t> swaps_left(num_domains * (num_threads + 1), 0);
   pool_->Run([&](int tid) {
-    const uint64_t lo = static_cast<uint64_t>(tid) * block;
-    const uint64_t hi = std::min<uint64_t>(lo + block, num_removed);
-    if (lo >= hi) {
-      return;
-    }
-    uint64_t right_cursor = lo;
-    for (uint64_t k = lo; k < hi; ++k) {
-      if (to_right[k] != kMax) {
-        to_right[right_cursor++] = to_right[k];
+    for (int d = 0; d < num_domains; ++d) {
+      const uint64_t n = per_domain[d].size();
+      const uint64_t local_lo = static_cast<uint64_t>(tid) * block[d];
+      const uint64_t local_hi = std::min<uint64_t>(local_lo + block[d], n);
+      if (block[d] == 0 || local_lo >= local_hi) {
+        continue;
       }
-    }
-    swaps_right[tid + 1] = right_cursor - lo;
-    uint64_t left_cursor = lo;
-    for (uint64_t j = lo; j < hi; ++j) {
-      if (not_to_left[j] == 0) {
-        to_left[left_cursor++] = j + new_size;
+      const uint64_t lo = seg[d] + local_lo;
+      const uint64_t hi = seg[d] + local_hi;
+      uint64_t right_cursor = lo;
+      for (uint64_t k = lo; k < hi; ++k) {
+        if (to_right[k] != kMax) {
+          to_right[right_cursor++] = to_right[k];
+        }
       }
+      swaps_right[d * (num_threads + 1) + tid + 1] = right_cursor - lo;
+      uint64_t left_cursor = lo;
+      for (uint64_t j = lo; j < hi; ++j) {
+        if (not_to_left[j] == 0) {
+          to_left[left_cursor++] = (j - seg[d]) + new_size[d];
+        }
+      }
+      swaps_left[d * (num_threads + 1) + tid + 1] = left_cursor - lo;
     }
-    swaps_left[tid + 1] = left_cursor - lo;
   });
 
-  // Step 4: prefix-sum the per-block swap counts (tiny arrays, serial) and
-  // execute the swaps in parallel. The number of holes left of new_size
-  // always equals the number of live agents right of it.
-  std::partial_sum(swaps_right.begin(), swaps_right.end(), swaps_right.begin());
-  std::partial_sum(swaps_left.begin(), swaps_left.end(), swaps_left.begin());
-  const uint64_t num_swaps = swaps_right[num_threads];
-  assert(num_swaps == swaps_left[num_threads]);
+  // Step 4: prefix-sum the per-block swap counts per domain (tiny arrays,
+  // serial) and execute all domains' swaps in one parallel dispatch. Within
+  // a domain the number of holes left of new_size always equals the number
+  // of live agents right of it.
+  std::vector<uint64_t> swap_seg(num_domains + 1, 0);
+  for (int d = 0; d < num_domains; ++d) {
+    uint64_t* right = &swaps_right[d * (num_threads + 1)];
+    uint64_t* left = &swaps_left[d * (num_threads + 1)];
+    std::partial_sum(right, right + num_threads + 1, right);
+    std::partial_sum(left, left + num_threads + 1, left);
+    assert(right[num_threads] == left[num_threads]);
+    swap_seg[d + 1] = swap_seg[d] + right[num_threads];
+  }
+  const uint64_t num_swaps = swap_seg[num_domains];
   std::vector<uint64_t> compact_right(num_swaps);
   std::vector<uint64_t> compact_left(num_swaps);
   pool_->Run([&](int tid) {
-    const uint64_t lo = static_cast<uint64_t>(tid) * block;
-    if (lo >= num_removed) {
-      return;
+    for (int d = 0; d < num_domains; ++d) {
+      const uint64_t local_lo = static_cast<uint64_t>(tid) * block[d];
+      if (block[d] == 0 || local_lo >= per_domain[d].size()) {
+        continue;
+      }
+      const uint64_t* right = &swaps_right[d * (num_threads + 1)];
+      const uint64_t* left = &swaps_left[d * (num_threads + 1)];
+      std::copy_n(to_right.begin() + seg[d] + local_lo,
+                  right[tid + 1] - right[tid],
+                  compact_right.begin() + swap_seg[d] + right[tid]);
+      std::copy_n(to_left.begin() + seg[d] + local_lo,
+                  left[tid + 1] - left[tid],
+                  compact_left.begin() + swap_seg[d] + left[tid]);
     }
-    std::copy_n(to_right.begin() + lo, swaps_right[tid + 1] - swaps_right[tid],
-                compact_right.begin() + swaps_right[tid]);
-    std::copy_n(to_left.begin() + lo, swaps_left[tid + 1] - swaps_left[tid],
-                compact_left.begin() + swaps_left[tid]);
   });
   pool_->ParallelFor(
-      0, static_cast<int64_t>(num_swaps), 512, [&](int64_t lo, int64_t hi, int) {
+      0, static_cast<int64_t>(num_swaps), 512,
+      [&](int64_t lo, int64_t hi, int) {
+        int d = domain_of(swap_seg, static_cast<uint64_t>(lo));
         for (int64_t k = lo; k < hi; ++k) {
+          while (static_cast<uint64_t>(k) >= swap_seg[d + 1]) {
+            ++d;
+          }
+          auto& agents = agents_[d];
           const uint64_t dst = compact_right[k];
           const uint64_t src = compact_left[k];
           Agent* moved = agents[src];
           agents[dst] = moved;
           UpdateUidMapPosition(moved->GetUid(),
-                               {static_cast<uint16_t>(domain), dst});
+                               {static_cast<uint16_t>(d), dst});
         }
       });
 
-  // Step 5: shrink.
-  agents.resize(new_size);
+  // Step 5: shrink every domain.
+  for (int d = 0; d < num_domains; ++d) {
+    agents_[d].resize(new_size[d]);
+  }
 }
 
 void ResourceManager::ReplaceAgentVectors(
@@ -385,7 +493,7 @@ void ResourceManager::CommitAdditionsSerial(
       RegisterAgent(agent, {static_cast<uint16_t>(domain),
                             agents_[domain].size() - 1});
       if (agent->HasCustomMechanics()) {
-        ++num_custom_mechanics_;
+        num_custom_mechanics_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }
@@ -406,7 +514,7 @@ void ResourceManager::CommitAdditionsParallel(
     domain_growth[d] += contexts[c]->new_agents().size();
     for (Agent* agent : contexts[c]->new_agents()) {
       if (agent->HasCustomMechanics()) {
-        ++num_custom_mechanics_;
+        num_custom_mechanics_.fetch_add(1, std::memory_order_relaxed);
       }
     }
   }

@@ -9,8 +9,12 @@
 #ifndef BDM_CORE_RESOURCE_MANAGER_H_
 #define BDM_CORE_RESOURCE_MANAGER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "core/agent.h"
@@ -42,10 +46,17 @@ class ResourceManager {
   int GetNumDomains() const { return static_cast<int>(agents_.size()); }
 
   /// Number of live agents whose mechanics deviate from the generic pairwise
-  /// collision response (Agent::HasCustomMechanics). Maintained by the
-  /// serial parts of AddAgent/Commit; the pair-symmetric force engine
-  /// consults it to decide whether the half-stencil pair path is valid.
-  int64_t GetNumCustomMechanicsAgents() const { return num_custom_mechanics_; }
+  /// collision response (Agent::HasCustomMechanics). Maintained atomically
+  /// by AddAgent/Commit; the pair-symmetric force engine consults it to
+  /// decide whether the half-stencil pair path is valid.
+  int64_t GetNumCustomMechanicsAgents() const {
+    return num_custom_mechanics_.load(std::memory_order_relaxed);
+  }
+
+  /// Current size of the uid map. Grows with the generator's high watermark;
+  /// under churn with recycling it must stay bounded (asserted by the churn
+  /// stress test and bench_commit).
+  uint64_t UidMapSize() const { return uid_map_.size(); }
 
   Agent* GetAgent(const AgentUid& uid) const;
   AgentHandle GetAgentHandle(const AgentUid& uid) const;
@@ -55,12 +66,17 @@ class ResourceManager {
   bool ContainsAgent(const AgentUid& uid) const { return GetAgent(uid) != nullptr; }
 
   // --- mutation --------------------------------------------------------------
-  /// Serial addition used during model initialization. Takes ownership and
+  /// Direct addition used during model initialization. Takes ownership and
   /// assigns a uid when the agent has none. When called from a pool worker
   /// the agent is placed on the worker's own NUMA domain (so its pages and
   /// its pointer slot stay local to the thread that will most likely touch
   /// it); out-of-pool callers spread agents round-robin over domains (the
   /// Morton balancing later replaces this with a spatial partition).
+  /// Thread-safe: concurrent callers serialize per domain, and uid-map
+  /// growth is guarded by a shared mutex -- but concurrent *readers*
+  /// (GetAgent/iteration) are not part of the contract while an add phase
+  /// runs; agents buffered through the ExecutionContext remain the way to
+  /// create agents during an iteration.
   void AddAgent(Agent* agent);
 
   /// Commits all buffered additions and removals from the per-thread
@@ -93,6 +109,8 @@ class ResourceManager {
   }
 
  private:
+  friend class ConsistencyAudit;
+
   struct UidMapEntry {
     Agent* agent = nullptr;
     AgentUid::Reused reused = AgentUid::kReusedMax;
@@ -105,8 +123,14 @@ class ResourceManager {
 
   void CommitRemovalsSerial(std::vector<AgentUid>& removals);
   void CommitRemovalsParallel(std::vector<AgentUid>& removals);
-  /// The five-step parallel removal of Section 3.2, for one domain.
-  void RemoveFromDomainParallel(int domain, const std::vector<uint64_t>& removed_idx);
+  /// The five-step parallel removal of Section 3.2, fused across all NUMA
+  /// domains: one classify / compact / swap dispatch covers every domain's
+  /// removals, so small per-domain batches do not serialize.
+  void RemoveFromDomainsParallel(
+      const std::vector<std::vector<uint64_t>>& per_domain,
+      uint64_t total_removed);
+  /// Serial descending-index swap removal for one domain (small batches).
+  void RemoveSwapSerial(int domain, const std::vector<uint64_t>& removed_idx);
 
   void CommitAdditionsSerial(const std::vector<ExecutionContext*>& contexts);
   void CommitAdditionsParallel(const std::vector<ExecutionContext*>& contexts);
@@ -117,8 +141,14 @@ class ResourceManager {
 
   std::vector<std::vector<Agent*>> agents_;  // one vector per NUMA domain
   std::vector<UidMapEntry> uid_map_;
-  int round_robin_domain_ = 0;
-  int64_t num_custom_mechanics_ = 0;
+  /// Serializes concurrent direct AddAgent calls targeting the same domain
+  /// (vector<mutex> cannot grow, hence the array).
+  std::unique_ptr<std::mutex[]> domain_mutexes_;
+  /// Unique for uid-map growth, shared for concurrent entry writes during a
+  /// direct-add phase (distinct uids -> distinct slots).
+  std::shared_mutex uid_map_mutex_;
+  std::atomic<uint32_t> round_robin_domain_{0};
+  std::atomic<int64_t> num_custom_mechanics_{0};
 };
 
 }  // namespace bdm

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/consistency_audit.h"
 #include "core/default_ops.h"
 #include "core/load_balance_op.h"
 #include "core/resource_manager.h"
@@ -18,6 +19,11 @@ Scheduler::Scheduler(Simulation* sim) : sim_(sim) {
     pre_ops_.push_back(std::make_unique<LoadBalanceOp>(param.agent_sort_frequency));
   }
   pre_ops_.push_back(std::make_unique<UpdateEnvironmentOp>());
+  if (param.audit_interval > 0) {
+    // Right after the environment update: the audit compares the freshly
+    // built index against the agent store, before behaviors move anything.
+    pre_ops_.push_back(std::make_unique<ConsistencyAuditOp>(param.audit_interval));
+  }
   if (param.detect_static_agents) {
     pre_ops_.push_back(std::make_unique<StaticnessOp>());
   }

@@ -1,6 +1,7 @@
 #include "core/simulation.h"
 
 #include <cassert>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "continuum/diffusion_grid.h"
@@ -40,6 +41,16 @@ Simulation::Simulation(std::string name, const Param& param)
   assert(active_ == nullptr &&
          "only one Simulation may be active at a time (see class comment)");
   active_ = this;
+
+  // CI hook: debug/tsan test runs export BDM_AUDIT_INTERVAL=1 so every
+  // simulation they construct self-checks each iteration without the test
+  // code opting in (see tests/CMakeLists.txt).
+  if (const char* audit = std::getenv("BDM_AUDIT_INTERVAL")) {
+    const int interval = std::atoi(audit);
+    if (interval > 0) {
+      param_.audit_interval = interval;
+    }
+  }
 
   pool_ = std::make_unique<NumaThreadPool>(topology_);
   if (param_.use_bdm_memory_manager) {

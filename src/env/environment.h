@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/function_ref.h"
 #include "math/real.h"
@@ -112,6 +113,15 @@ class Environment {
   virtual size_t MemoryFootprint() const = 0;
 
   virtual std::string GetName() const = 0;
+
+  /// ConsistencyAudit hook: appends one human-readable line per
+  /// inconsistency between the environment's internal index and the
+  /// resource manager's current state. Must run on a quiesced simulation
+  /// right after Update (before behaviors move agents). The base
+  /// implementation checks nothing; indexes with persistent per-iteration
+  /// state (the uniform grid's SoA mirror and box chains) override it.
+  virtual void AuditConsistency(const ResourceManager&,
+                                std::vector<std::string>*) const {}
 };
 
 }  // namespace bdm

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <sstream>
+#include <string>
 
 #include "core/agent.h"
 #include "core/resource_manager.h"
@@ -336,6 +338,88 @@ void UniformGridEnvironment::ForEachNeighborPair(real_t squared_radius,
       }
     }
   });
+}
+
+// The grid's Update snapshots agent state (flat array, SoA mirror, box
+// chains); the audit replays every invariant that snapshot must satisfy
+// against the resource manager. Correct only right after Update, before any
+// behavior moved an agent (mirror == live holds then).
+void UniformGridEnvironment::AuditConsistency(
+    const ResourceManager& rm, std::vector<std::string>* violations) const {
+  const auto complain = [&](const std::string& what) {
+    violations->push_back("uniform_grid: " + what);
+  };
+  const uint64_t total = rm.GetNumAgents();
+  if (flat_agents_.size() != total || pos_x_.size() != total ||
+      pos_y_.size() != total || pos_z_.size() != total ||
+      diameters_.size() != total || successors_.size() != total) {
+    complain("flat/mirror array sizes disagree with the agent count " +
+             std::to_string(total));
+    return;  // every check below indexes these arrays
+  }
+  if (total == 0) {
+    return;
+  }
+  for (uint64_t i = 0; i < total; ++i) {
+    Agent* agent = flat_agents_[i];
+    if (agent == nullptr) {
+      complain("flat_agents_[" + std::to_string(i) + "] is null");
+      return;
+    }
+    if (rm.GetAgent(agent->GetUid()) != agent) {
+      std::ostringstream os;
+      os << "flat_agents_[" << i << "] (uid " << agent->GetUid()
+         << ") is not the resource manager's agent for that uid";
+      complain(os.str());
+    }
+    const Real3& pos = agent->GetPosition();
+    if (pos_x_[i] != pos.x || pos_y_[i] != pos.y || pos_z_[i] != pos.z ||
+        diameters_[i] != agent->GetDiameter()) {
+      std::ostringstream os;
+      os << "SoA mirror of agent " << agent->GetUid()
+         << " disagrees with the live position/diameter";
+      complain(os.str());
+    }
+  }
+  // Box chains: every box's chain must stay within bounds and visit
+  // distinct agents; the chain lengths must add up to the agent count; and
+  // every agent must be reachable in the box its mirrored position maps to.
+  std::vector<uint8_t> seen(total, 0);
+  uint64_t chained = 0;
+  for (int64_t flat = 0; flat < GetNumBoxes(); ++flat) {
+    const uint64_t word = boxes_[flat].load(std::memory_order_acquire);
+    if (Timestamp(word) != timestamp_) {
+      continue;
+    }
+    uint32_t idx = Head(word);
+    for (uint32_t k = 0, count = Count(word); k < count; ++k) {
+      if (idx >= total) {
+        complain("box " + std::to_string(flat) +
+                 " chain leaves the flat index range");
+        return;
+      }
+      if (seen[idx] != 0) {
+        complain("flat index " + std::to_string(idx) +
+                 " appears in more than one box chain position");
+        return;
+      }
+      seen[idx] = 1;
+      ++chained;
+      const auto c = BoxCoordinates({pos_x_[idx], pos_y_[idx], pos_z_[idx]});
+      if (FlatBoxIndex(c[0], c[1], c[2]) != flat) {
+        std::ostringstream os;
+        os << "agent " << flat_agents_[idx]->GetUid() << " is chained in box "
+           << flat << " but its mirrored position maps to box "
+           << FlatBoxIndex(c[0], c[1], c[2]);
+        complain(os.str());
+      }
+      idx = successors_[idx];
+    }
+  }
+  if (chained != total) {
+    complain("box chains cover " + std::to_string(chained) + " of " +
+             std::to_string(total) + " agents");
+  }
 }
 
 size_t UniformGridEnvironment::MemoryFootprint() const {

@@ -73,6 +73,11 @@ class UniformGridEnvironment : public Environment {
   size_t MemoryFootprint() const override;
   std::string GetName() const override { return "uniform_grid"; }
 
+  /// Verifies flat array / SoA mirror / box chain agreement with the
+  /// resource manager (see Environment::AuditConsistency).
+  void AuditConsistency(const ResourceManager& rm,
+                        std::vector<std::string>* violations) const override;
+
   // --- accessors used by the load-balance operation and tests --------------
   std::array<int64_t, 3> GetDimensions() const { return {nx_, ny_, nz_}; }
   int64_t GetNumBoxes() const { return nx_ * ny_ * nz_; }

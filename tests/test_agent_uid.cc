@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 #include <vector>
+
+#include "numa/topology.h"
+#include "sched/numa_thread_pool.h"
 
 namespace bdm {
 namespace {
@@ -104,6 +108,160 @@ TEST(AgentUidGeneratorTest, MixedGenerateRecycleNeverDuplicatesLiveUids) {
       gen.Recycle(victim);
     }
   }
+}
+
+// --- sharded recycle store (per-worker free lists + central overflow) ------
+
+TEST(AgentUidGeneratorTest, NumRecycledCountsShardsAndCentral) {
+  AgentUidGenerator gen;
+  std::vector<AgentUid> uids;
+  for (int i = 0; i < 10; ++i) {
+    uids.push_back(gen.Generate());
+  }
+  // Off-pool thread: these land on the central list.
+  for (const AgentUid& uid : uids) {
+    gen.Recycle(uid);
+  }
+  EXPECT_EQ(gen.NumRecycled(), 10u);
+  uint64_t visited = 0;
+  gen.ForEachRecycled([&](const AgentUid&) { ++visited; });
+  EXPECT_EQ(visited, 10u);
+  for (int i = 0; i < 10; ++i) {
+    gen.Generate();
+  }
+  EXPECT_EQ(gen.NumRecycled(), 0u);
+  EXPECT_EQ(gen.HighWatermark(), 10u);  // recycling served every request
+}
+
+TEST(AgentUidGeneratorTest, WorkerRecycleStaysLockFreeOnOwnShard) {
+  NumaThreadPool pool(Topology(2, 1));
+  AgentUidGenerator gen;
+  // Each worker recycles a handful of its own uids and must get exactly
+  // those slots back (its shard serves before the central list or the
+  // counter).
+  std::atomic<bool> ok{true};
+  pool.Run([&](int tid) {
+    (void)tid;
+    std::vector<AgentUid> mine;
+    for (int i = 0; i < 20; ++i) {
+      mine.push_back(gen.Generate());
+    }
+    for (const AgentUid& uid : mine) {
+      gen.Recycle(uid);
+    }
+    for (int i = 0; i < 20; ++i) {
+      const AgentUid uid = gen.Generate();
+      bool found = false;
+      for (const AgentUid& original : mine) {
+        if (uid.index() == original.index() &&
+            uid.reused() == original.reused() + 1) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        ok = false;
+      }
+    }
+  });
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(gen.NumRecycled(), 0u);
+}
+
+TEST(AgentUidGeneratorTest, MainThreadRecyclesFlowToWorkersViaRefill) {
+  NumaThreadPool pool(Topology(2, 1));
+  AgentUidGenerator gen;
+  // The commit runs on the main thread, so its recycles land on the central
+  // list; workers must pick them up in refill batches instead of growing
+  // the watermark.
+  std::vector<AgentUid> uids;
+  for (int i = 0; i < 200; ++i) {
+    uids.push_back(gen.Generate());
+  }
+  for (const AgentUid& uid : uids) {
+    gen.Recycle(uid);
+  }
+  const AgentUid::Index watermark = gen.HighWatermark();
+  std::atomic<uint64_t> fresh{0};
+  pool.Run([&](int) {
+    for (int i = 0; i < 100; ++i) {
+      if (gen.Generate().reused() == 0) {
+        fresh.fetch_add(1);
+      }
+    }
+  });
+  // A worker may hoard part of a refill batch in its shard while the other
+  // worker falls back to the counter, so up to one partial batch per worker
+  // can stay parked -- but every fresh uid must be matched by a parked slot
+  // (nothing leaks, nothing is double-served).
+  EXPECT_LT(fresh.load(), 2 * AgentUidGenerator::kRefillBatch);
+  EXPECT_EQ(gen.NumRecycled(), fresh.load());
+  EXPECT_EQ(gen.HighWatermark(),
+            watermark + static_cast<AgentUid::Index>(fresh.load()));
+}
+
+TEST(AgentUidGeneratorTest, WorkerShardSpillsToCentralPastThreshold) {
+  NumaThreadPool pool(Topology(2, 1));
+  AgentUidGenerator gen;
+  const uint64_t n = AgentUidGenerator::kSpillThreshold * 2;
+  std::vector<AgentUid> uids;
+  for (uint64_t i = 0; i < n; ++i) {
+    uids.push_back(gen.Generate());
+  }
+  // One worker parks far more than the spill threshold...
+  pool.Run([&](int tid) {
+    if (tid == 0) {
+      for (const AgentUid& uid : uids) {
+        gen.Recycle(uid);
+      }
+    }
+  });
+  EXPECT_EQ(gen.NumRecycled(), n);
+  // ...and the main thread (central list only) must still see spilled slots.
+  uint64_t reused_on_main = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (gen.Generate().reused() != 0) {
+      ++reused_on_main;
+    }
+  }
+  EXPECT_GE(reused_on_main, AgentUidGenerator::kSpillThreshold / 2);
+}
+
+TEST(AgentUidGeneratorTest, ExhaustedReuseCounterRetiresSlot) {
+  AgentUidGenerator gen;
+  const AgentUid first = gen.Generate();
+  gen.Recycle(AgentUid(first.index(), AgentUid::kReusedMax - 1));
+  EXPECT_EQ(gen.NumRecycled(), 0u);  // retired, not parked
+  const AgentUid next = gen.Generate();
+  EXPECT_NE(next.index(), first.index());
+}
+
+TEST(AgentUidGeneratorTest, ConcurrentWorkerChurnKeepsStoreConsistent) {
+  NumaThreadPool pool(Topology(4, 2));
+  AgentUidGenerator gen;
+  pool.Run([&](int) {
+    std::vector<AgentUid> mine;
+    for (int round = 0; round < 2000; ++round) {
+      mine.push_back(gen.Generate());
+      if (round % 2 == 0) {
+        gen.Recycle(mine.back());
+        mine.pop_back();
+      }
+    }
+    for (const AgentUid& uid : mine) {
+      gen.Recycle(uid);
+    }
+  });
+  // Every parked slot index appears exactly once across shards + central.
+  std::set<AgentUid::Index> seen;
+  uint64_t parked = 0;
+  gen.ForEachRecycled([&](const AgentUid& uid) {
+    ++parked;
+    EXPECT_TRUE(seen.insert(uid.index()).second)
+        << "slot " << uid.index() << " parked twice";
+  });
+  EXPECT_EQ(parked, gen.NumRecycled());
+  EXPECT_LE(parked, static_cast<uint64_t>(gen.HighWatermark()));
 }
 
 }  // namespace
