@@ -11,12 +11,14 @@
 
 #include <malloc.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -177,9 +179,170 @@ struct JsonRecord {
   std::vector<std::pair<std::string, double>> extras;
 };
 
+/// One baseline measurement parsed back from a checked-in BENCH_*.json.
+struct BaselineRecord {
+  std::string workload;
+  uint64_t agents = 0;
+  double ns_per_iter = 0;
+  double tol = -1;  // per-record tolerance override, <0 = use the default
+};
+
+/// Minimal parser for the JSON this harness itself emits (and for
+/// bench/regress.py's normalized rewrites): scans each {...} object for the
+/// three known keys. Not a general JSON parser -- it only needs to read our
+/// own records back.
+inline std::vector<BaselineRecord> ReadBaselineJson(const std::string& path) {
+  std::vector<BaselineRecord> records;
+  // stdio instead of ifstream: reading a directory path must fail cleanly
+  // (BDM_BENCH_COMPARE may name a directory that is probed as a file first),
+  // and libstdc++'s filebuf throws on that instead of setting failbit.
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return records;
+  }
+  std::string text;
+  char buffer[4096];
+  for (;;) {
+    const size_t n = std::fread(buffer, 1, sizeof(buffer), file);
+    if (n == 0) {
+      break;
+    }
+    text.append(buffer, n);
+  }
+  std::fclose(file);
+  const auto find_number = [&](size_t lo, size_t hi,
+                               const std::string& key) -> double {
+    const size_t pos = text.find("\"" + key + "\"", lo);
+    if (pos == std::string::npos || pos >= hi) {
+      return -1;
+    }
+    const size_t colon = text.find(':', pos);
+    return colon == std::string::npos ? -1
+                                      : std::atof(text.c_str() + colon + 1);
+  };
+  size_t cursor = text.find('[');
+  cursor = cursor == std::string::npos ? 0 : cursor;
+  for (;;) {
+    const size_t open = text.find('{', cursor);
+    if (open == std::string::npos) {
+      break;
+    }
+    const size_t close = text.find('}', open);
+    if (close == std::string::npos) {
+      break;
+    }
+    BaselineRecord record;
+    const size_t wl = text.find("\"workload\"", open);
+    if (wl != std::string::npos && wl < close) {
+      const size_t q1 = text.find('"', text.find(':', wl));
+      const size_t q2 = text.find('"', q1 + 1);
+      if (q1 != std::string::npos && q2 != std::string::npos && q2 < close) {
+        record.workload = text.substr(q1 + 1, q2 - q1 - 1);
+      }
+    }
+    record.agents =
+        static_cast<uint64_t>(std::max(find_number(open, close, "agents"), 0.0));
+    record.ns_per_iter = find_number(open, close, "ns_per_iter");
+    record.tol = find_number(open, close, "tol");
+    if (!record.workload.empty()) {
+      records.push_back(std::move(record));
+    }
+    cursor = close + 1;
+  }
+  return records;
+}
+
+namespace internal {
+
+/// Number of baseline regressions seen by this process (all compared files).
+inline int& BenchCompareFailures() {
+  static int failures = 0;
+  return failures;
+}
+
+/// Diffs `records` against the baseline file matching `path`'s basename
+/// under $BDM_BENCH_COMPARE (a directory or a single file). Prints one FAIL
+/// line per regression and arranges a non-zero exit code at process end, so
+/// a binary that writes several JSON files still reports every regression.
+inline void CompareAgainstBaseline(const std::string& path,
+                                   const std::vector<JsonRecord>& records) {
+  const char* env = std::getenv("BDM_BENCH_COMPARE");
+  if (env == nullptr || env[0] == '\0') {
+    return;
+  }
+  const size_t slash = path.find_last_of('/');
+  const std::string basename =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  // $BDM_BENCH_COMPARE is either a single baseline file or a directory
+  // where the baseline of BENCH_x.json is <dir>/BENCH_x.json.
+  std::vector<BaselineRecord> baseline = ReadBaselineJson(env);
+  if (baseline.empty()) {
+    baseline = ReadBaselineJson(std::string(env) + "/" + basename);
+  }
+  if (baseline.empty()) {
+    std::printf("compare: no baseline for %s under %s (skipped)\n",
+                basename.c_str(), env);
+    return;
+  }
+  const char* tol_env = std::getenv("BDM_BENCH_TOLERANCE");
+  const double default_tol = tol_env != nullptr ? std::atof(tol_env) : 0.15;
+  int failures = 0;
+  for (const BaselineRecord& base : baseline) {
+    if (base.ns_per_iter <= 0) {
+      continue;
+    }
+    const JsonRecord* fresh = nullptr;
+    for (const JsonRecord& r : records) {
+      if (r.workload == base.workload && r.agents == base.agents) {
+        fresh = &r;
+        break;
+      }
+    }
+    if (fresh == nullptr) {
+      std::printf("compare: FAIL %s @ %llu agents: missing from fresh run\n",
+                  base.workload.c_str(),
+                  static_cast<unsigned long long>(base.agents));
+      ++failures;
+      continue;
+    }
+    const double tol = base.tol >= 0 ? base.tol : default_tol;
+    const double ratio = fresh->ns_per_iter / base.ns_per_iter;
+    if (ratio > 1 + tol) {
+      std::printf(
+          "compare: FAIL %s @ %llu agents: %.1f -> %.1f ns/iter "
+          "(+%.1f%%, tolerance %.0f%%)\n",
+          base.workload.c_str(), static_cast<unsigned long long>(base.agents),
+          base.ns_per_iter, fresh->ns_per_iter, (ratio - 1) * 100, tol * 100);
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("compare: OK %s (%zu baseline records)\n", basename.c_str(),
+                baseline.size());
+    return;
+  }
+  if (BenchCompareFailures() == 0) {
+    // First regression in this process: make sure the exit code reflects it
+    // even though later WriteBenchJson calls still run.
+    std::atexit([] {
+      if (BenchCompareFailures() > 0) {
+        std::fprintf(stderr, "compare: %d regression(s) vs baseline\n",
+                     BenchCompareFailures());
+        std::fflush(nullptr);  // _Exit skips the stdio flush
+        std::_Exit(1);
+      }
+    });
+  }
+  BenchCompareFailures() += failures;
+}
+
+}  // namespace internal
+
 /// Writes `records` as a JSON array to `path` (e.g. "BENCH_neighbor.json")
 /// so CI and the EXPERIMENTS.md tables can be regenerated without parsing
-/// human-oriented stdout.
+/// human-oriented stdout. With BDM_BENCH_COMPARE set (baseline file or
+/// directory), also diffs the fresh records against the baseline and turns
+/// the process exit code non-zero on any regression ("compare mode").
 inline void WriteBenchJson(const std::string& path,
                            const std::vector<JsonRecord>& records) {
   std::ofstream out(path);
@@ -195,6 +358,7 @@ inline void WriteBenchJson(const std::string& path,
   }
   out << "]\n";
   std::printf("wrote %s (%zu records)\n", path.c_str(), records.size());
+  internal::CompareAgainstBaseline(path, records);
 }
 
 inline void PrintHeader(const std::string& title) {

@@ -14,6 +14,7 @@
 #include "core/resource_manager.h"
 #include "core/simulation.h"
 #include "models/cell_sorting.h"
+#include "output_dir.h"
 
 int main(int argc, char** argv) {
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
@@ -41,7 +42,9 @@ int main(int argc, char** argv) {
                 bdm::models::cell_sorting::SortingIndex(&simulation, 12));
   }
 
-  std::ofstream csv("cell_sorting_final.csv");
+  const std::string csv_path =
+      bdm::examples::OutputPath("cell_sorting_final.csv");
+  std::ofstream csv(csv_path);
   csv << "x,y,z,type\n";
   simulation.GetResourceManager()->ForEachAgent(
       [&](bdm::Agent* agent, bdm::AgentHandle) {
@@ -49,6 +52,6 @@ int main(int argc, char** argv) {
         csv << p.x << "," << p.y << "," << p.z << ","
             << static_cast<bdm::Cell*>(agent)->GetCellType() << "\n";
       });
-  std::printf("cell_sorting: wrote cell_sorting_final.csv\n");
+  std::printf("cell_sorting: wrote %s\n", csv_path.c_str());
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "core/simulation.h"
 #include "models/neuroscience.h"
 #include "neuro/neurite_element.h"
+#include "output_dir.h"
 
 int main(int argc, char** argv) {
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 200;
@@ -51,7 +52,9 @@ int main(int argc, char** argv) {
                 simulation.GetResourceManager()->GetNumAgents()));
   }
 
-  std::ofstream csv("neurite_morphology.csv");
+  const std::string csv_path =
+      bdm::examples::OutputPath("neurite_morphology.csv");
+  std::ofstream csv(csv_path);
   csv << "x0,y0,z0,x1,y1,z1,diameter\n";
   simulation.GetResourceManager()->ForEachAgent(
       [&](bdm::Agent* agent, bdm::AgentHandle) {
@@ -64,6 +67,6 @@ int main(int argc, char** argv) {
         csv << p0.x << "," << p0.y << "," << p0.z << "," << p1.x << "," << p1.y
             << "," << p1.z << "," << neurite->GetDiameter() << "\n";
       });
-  std::printf("neurite_growth: wrote neurite_morphology.csv\n");
+  std::printf("neurite_growth: wrote %s\n", csv_path.c_str());
   return 0;
 }

@@ -1,0 +1,24 @@
+// Resolves where example binaries drop their output files.
+//
+// The build defines BDM_EXAMPLES_OUTPUT_DIR as the example binary directory,
+// so `./build/examples/tumor_growth` run from anywhere writes its CSV under
+// build/ instead of the current working directory. A manual compile without
+// the define falls back to the CWD.
+#ifndef BDM_EXAMPLES_OUTPUT_DIR_H_
+#define BDM_EXAMPLES_OUTPUT_DIR_H_
+
+#include <string>
+
+namespace bdm::examples {
+
+inline std::string OutputPath(const std::string& filename) {
+#ifdef BDM_EXAMPLES_OUTPUT_DIR
+  return std::string(BDM_EXAMPLES_OUTPUT_DIR) + "/" + filename;
+#else
+  return filename;
+#endif
+}
+
+}  // namespace bdm::examples
+
+#endif  // BDM_EXAMPLES_OUTPUT_DIR_H_

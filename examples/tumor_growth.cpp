@@ -14,6 +14,7 @@
 #include "core/resource_manager.h"
 #include "core/simulation.h"
 #include "models/oncology.h"
+#include "output_dir.h"
 
 int main(int argc, char** argv) {
   const int iterations = argc > 1 ? std::atoi(argv[1]) : 100;
@@ -46,13 +47,15 @@ int main(int argc, char** argv) {
                 std::sqrt(max_r2));
   }
 
-  std::ofstream csv("tumor_final_state.csv");
+  const std::string csv_path =
+      bdm::examples::OutputPath("tumor_final_state.csv");
+  std::ofstream csv(csv_path);
   csv << "x,y,z,diameter\n";
   rm->ForEachAgent([&](bdm::Agent* agent, bdm::AgentHandle) {
     const auto& p = agent->GetPosition();
     csv << p.x << "," << p.y << "," << p.z << "," << agent->GetDiameter()
         << "\n";
   });
-  std::printf("tumor_growth: wrote tumor_final_state.csv\n");
+  std::printf("tumor_growth: wrote %s\n", csv_path.c_str());
   return 0;
 }

@@ -81,6 +81,14 @@ struct Param {
   /// "force threshold" of the static-agent conditions (Section 5).
   real_t force_threshold_squared = 1e-10;
 
+  // --- observability -------------------------------------------------------
+  /// Collect engine counters/gauges (obs/metrics.h) and flush them once per
+  /// iteration. Costs a per-thread memory increment at the instrumented
+  /// sites (measured <= 2% on bench_forces, see EXPERIMENTS.md); turn off
+  /// for peak-performance runs or A/B overhead measurements. The env var
+  /// BDM_METRICS=0 forces this off without a code change.
+  bool collect_metrics = true;
+
   // --- correctness tooling -------------------------------------------------
   /// Run the ConsistencyAudit scheduler op every N iterations; 0 disables
   /// it. The audit verifies the uid-map <-> agent-vector bijection, the

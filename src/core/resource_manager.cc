@@ -6,10 +6,30 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace bdm {
 
 namespace {
 constexpr uint64_t kMax = ~uint64_t{0};
+
+struct CommitMetrics {
+  int commits = MetricsRegistry::Get().RegisterCounter("commit.commits");
+  int agents_added =
+      MetricsRegistry::Get().RegisterCounter("commit.agents_added");
+  int agents_removed =
+      MetricsRegistry::Get().RegisterCounter("commit.agents_removed");
+  int cancelled_adds =
+      MetricsRegistry::Get().RegisterCounter("commit.cancelled_adds");
+  int uids_recycled =
+      MetricsRegistry::Get().RegisterCounter("commit.uids_recycled");
+};
+
+const CommitMetrics& Metrics() {
+  static const CommitMetrics metrics;
+  return metrics;
+}
+
 }  // namespace
 
 ResourceManager::ResourceManager(const Param& param, NumaThreadPool* pool,
@@ -158,6 +178,7 @@ std::pair<uint64_t, uint64_t> ResourceManager::Commit(
     num_added += ctx->new_agents().size();
   }
   const uint64_t num_removed = removals.size();
+  uint64_t num_cancelled = 0;
 
   // Removals first: their index arithmetic is relative to the pre-addition
   // vector sizes.
@@ -199,6 +220,7 @@ std::pair<uint64_t, uint64_t> ResourceManager::Commit(
                                      uid_generator_->Recycle(agent->GetUid());
                                      delete agent;
                                      --num_added;
+                                     ++num_cancelled;
                                      return true;
                                    }),
                     fresh.end());
@@ -220,6 +242,19 @@ std::pair<uint64_t, uint64_t> ResourceManager::Commit(
   }
   for (ExecutionContext* ctx : contexts) {
     ctx->ClearBuffers();
+  }
+  if (MetricsRegistry::Enabled()) {
+    // Commit runs on the main thread between parallel regions, so the
+    // self-resolving Add lands in shard 0. `removals` holds only live
+    // removals here -- cancelled additions and stale duplicates were
+    // filtered out above; every live removal and every cancelled addition
+    // recycled exactly one uid.
+    auto& registry = MetricsRegistry::Get();
+    registry.Add(Metrics().commits, 1);
+    registry.Add(Metrics().agents_added, num_added);
+    registry.Add(Metrics().agents_removed, removals.size());
+    registry.Add(Metrics().cancelled_adds, num_cancelled);
+    registry.Add(Metrics().uids_recycled, removals.size() + num_cancelled);
   }
   return {num_added, num_removed};
 }

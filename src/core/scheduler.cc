@@ -1,6 +1,9 @@
 #include "core/scheduler.h"
 
 #include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <ostream>
 
 #include "core/consistency_audit.h"
 #include "core/default_ops.h"
@@ -90,45 +93,119 @@ uint64_t Scheduler::SimulateUntil(const std::function<bool(Simulation*)>& stop,
 
 void Scheduler::ExecuteIteration() {
   TimingAggregator* timing = sim_->GetTiming();
-
-  for (auto& op : pre_ops_) {
-    if (!op->IsDue(iteration_)) {
-      continue;
-    }
-    ScopedTimer timer(timing, op->GetName());
-    op->Run(sim_);
-  }
-
-  // Fused agent loop (Algorithm 1, L7-11): all due agent operations are
-  // applied to an agent before moving to the next, maximizing data reuse
-  // while the agent is cache-hot.
+  const auto iteration_start = std::chrono::steady_clock::now();
   {
-    ScopedTimer timer(timing, "agent_ops");
-    std::vector<AgentOperation*> due;
-    for (auto& op : agent_ops_) {
-      if (op->IsDue(iteration_)) {
-        due.push_back(op.get());
+    // Trace-only envelope around the whole step (a TimingAggregator bucket
+    // here would double-count every op in GrandTotalSeconds).
+    TraceSpan iteration_span("iteration", iteration_);
+
+    for (auto& op : pre_ops_) {
+      if (!op->IsDue(iteration_)) {
+        continue;
+      }
+      ScopedTimer timer(timing, op->GetName(), iteration_);
+      op->Run(sim_);
+    }
+
+    // Fused agent loop (Algorithm 1, L7-11): all due agent operations are
+    // applied to an agent before moving to the next, maximizing data reuse
+    // while the agent is cache-hot.
+    {
+      ScopedTimer timer(timing, "agent_ops", iteration_);
+      std::vector<AgentOperation*> due;
+      for (auto& op : agent_ops_) {
+        if (op->IsDue(iteration_)) {
+          due.push_back(op.get());
+        }
+      }
+      if (!due.empty()) {
+        sim_->GetResourceManager()->ForEachAgentParallel(
+            [&](Agent* agent, AgentHandle handle, int tid) {
+              for (AgentOperation* op : due) {
+                op->Run(agent, handle, tid, sim_);
+              }
+            });
       }
     }
-    if (!due.empty()) {
-      sim_->GetResourceManager()->ForEachAgentParallel(
-          [&](Agent* agent, AgentHandle handle, int tid) {
-            for (AgentOperation* op : due) {
-              op->Run(agent, handle, tid, sim_);
-            }
-          });
+
+    for (auto& op : post_ops_) {
+      if (!op->IsDue(iteration_)) {
+        continue;
+      }
+      ScopedTimer timer(timing, op->GetName(), iteration_);
+      op->Run(sim_);
     }
   }
 
-  for (auto& op : post_ops_) {
-    if (!op->IsDue(iteration_)) {
-      continue;
-    }
-    ScopedTimer timer(timing, op->GetName());
-    op->Run(sim_);
+  // Fold every worker's counter shard into the global totals. This runs
+  // strictly between parallel regions, so the pool's dispatch barrier
+  // orders all shard writes of this iteration before the flush.
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry::Get().FlushShards();
+  }
+
+  if (snapshot_fn_ && iteration_ % snapshot_interval_ == 0) {
+    IterationSnapshot snapshot;
+    snapshot.iteration = iteration_;
+    snapshot.seconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - iteration_start)
+                           .count();
+    snapshot.metrics = MetricsRegistry::Get().Snapshot();
+    snapshot_fn_(snapshot);
   }
 
   ++iteration_;
+}
+
+void Scheduler::SetSnapshotCallback(SnapshotFn fn, int interval) {
+  snapshot_fn_ = std::move(fn);
+  snapshot_interval_ = interval < 1 ? 1 : interval;
+}
+
+Scheduler::IterationSnapshot Scheduler::TakeSnapshot() const {
+  IterationSnapshot snapshot;
+  snapshot.iteration = iteration_;
+  snapshot.metrics = MetricsRegistry::Get().Snapshot();
+  return snapshot;
+}
+
+void Scheduler::DumpObservability(std::ostream& out) const {
+  const TimingAggregator* timing = sim_->GetTiming();
+  out << "{\n  \"simulation\": \"" << sim_->GetName() << "\",\n"
+      << "  \"iterations\": " << iteration_ << ",\n"
+      << "  \"grand_total_seconds\": " << timing->GrandTotalSeconds() << ",\n";
+  out << "  \"timing\": {";
+  bool first = true;
+  for (const auto& [name, entry] : timing->raw()) {
+    out << (first ? "\n" : ",\n") << "    \"" << name
+        << "\": {\"seconds\": " << entry.seconds
+        << ", \"count\": " << entry.count << "}";
+    first = false;
+  }
+  out << "\n  },\n";
+  const MetricsSnapshot metrics = MetricsRegistry::Get().Snapshot();
+  out << "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    out << (first ? "\n" : ",\n") << "    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << "\n  }\n}\n";
+}
+
+bool Scheduler::DumpObservability(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  DumpObservability(out);
+  return true;
 }
 
 }  // namespace bdm

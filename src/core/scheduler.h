@@ -9,10 +9,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/operation.h"
+#include "obs/metrics.h"
 
 namespace bdm {
 
@@ -50,6 +53,34 @@ class Scheduler {
   /// Returns the first operation with the given name, or nullptr.
   OperationBase* GetOp(const std::string& name);
 
+  // --- observability ---------------------------------------------------------
+  /// Everything the engine knows about itself at the end of one iteration:
+  /// the iteration index, its wall time, and the flushed metric totals
+  /// (cumulative since simulation start).
+  struct IterationSnapshot {
+    uint64_t iteration = 0;
+    double seconds = 0;  // wall time of this iteration
+    MetricsSnapshot metrics;
+  };
+  using SnapshotFn = std::function<void(const IterationSnapshot&)>;
+
+  /// Invokes `fn` at the end of every `interval`-th iteration, right after
+  /// the metric shards were flushed -- the per-iteration window a
+  /// time-series consumer (or a test asserting determinism) hooks into.
+  /// Pass a null fn to uninstall.
+  void SetSnapshotCallback(SnapshotFn fn, int interval = 1);
+
+  /// Snapshot of the current cumulative state (outside the iteration loop;
+  /// seconds is 0 because no iteration is in flight).
+  IterationSnapshot TakeSnapshot() const;
+
+  /// Writes the end-of-run observability document as JSON: per-operation
+  /// timing (the TimingAggregator the Figure 5 breakdown uses), counter
+  /// totals, and gauge values, in one machine-readable unit.
+  void DumpObservability(std::ostream& out) const;
+  /// Same, to a file. Returns false when the file could not be opened.
+  bool DumpObservability(const std::string& path) const;
+
  private:
   void ExecuteIteration();
 
@@ -72,6 +103,8 @@ class Scheduler {
   std::vector<std::unique_ptr<StandaloneOperation>> pre_ops_;
   std::vector<std::unique_ptr<AgentOperation>> agent_ops_;
   std::vector<std::unique_ptr<StandaloneOperation>> post_ops_;
+  SnapshotFn snapshot_fn_;
+  int snapshot_interval_ = 1;
 };
 
 }  // namespace bdm

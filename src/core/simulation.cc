@@ -1,6 +1,7 @@
 #include "core/simulation.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -11,6 +12,8 @@
 #include "env/octree.h"
 #include "env/uniform_grid.h"
 #include "memory/memory_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "physics/interaction_force.h"
 #include "sched/numa_thread_pool.h"
 
@@ -52,6 +55,24 @@ Simulation::Simulation(std::string name, const Param& param)
     }
   }
 
+  // Observability hooks (DESIGN.md Section 7). BDM_METRICS=0 forces the
+  // counter layer off (overhead A/B runs); BDM_TRACE=<path> records every
+  // operation span of this simulation as a chrome://tracing JSON written on
+  // destruction. Metric totals reset per simulation so snapshots and the
+  // end-of-run dump describe this run alone.
+  if (const char* metrics = std::getenv("BDM_METRICS")) {
+    if (metrics[0] == '0') {
+      param_.collect_metrics = false;
+    }
+  }
+  auto& registry = MetricsRegistry::Get();
+  registry.ConfigureSlots(topology_.NumThreads() + 1);
+  registry.SetEnabled(param_.collect_metrics);
+  registry.Reset();
+  if (std::getenv("BDM_TRACE") != nullptr) {
+    TraceRecorder::Get().Start(name_);
+  }
+
   pool_ = std::make_unique<NumaThreadPool>(topology_);
   if (param_.use_bdm_memory_manager) {
     memory_manager_ = std::make_unique<MemoryManager>(topology_, param_.memory);
@@ -76,6 +97,20 @@ Simulation::Simulation(std::string name, const Param& param)
 }
 
 Simulation::~Simulation() {
+  // End-of-run observability: the unified timing+counters JSON and the
+  // chrome trace are written before any engine component is torn down.
+  // With several sequential Simulations in one process, each run rewrites
+  // the files -- the last simulation wins; point the env vars at a
+  // one-simulation run (the examples) for a clean capture.
+  if (const char* path = std::getenv("BDM_OBS_JSON")) {
+    if (!scheduler_->DumpObservability(std::string(path))) {
+      std::fprintf(stderr, "BDM_OBS_JSON: cannot open %s for writing\n", path);
+    }
+  }
+  if (const char* path = std::getenv("BDM_TRACE")) {
+    TraceRecorder::Get().Stop(path);
+  }
+
   // Destruction order matters: agents (and their behaviors) must be freed
   // while the memory manager that allocated them is still the global one.
   scheduler_.reset();

@@ -8,6 +8,8 @@
 #include <map>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace bdm {
 
 class TimingAggregator {
@@ -55,18 +57,28 @@ class TimingAggregator {
   std::map<std::string, Entry> entries_;
 };
 
-/// RAII timer adding its lifetime to an aggregator bucket.
+/// RAII timer adding its lifetime to an aggregator bucket. When a chrome
+/// trace is being recorded (BDM_TRACE, obs/trace.h), the same lifetime is
+/// additionally emitted as a trace span, so every existing timing site is a
+/// trace site for free. `iteration` tags the span for per-step filtering in
+/// Perfetto (sites outside the scheduler may leave it 0).
 class ScopedTimer {
  public:
-  ScopedTimer(TimingAggregator* aggregator, std::string name)
+  ScopedTimer(TimingAggregator* aggregator, std::string name,
+              uint64_t iteration = 0)
       : aggregator_(aggregator),
         name_(std::move(name)),
+        iteration_(iteration),
         start_(std::chrono::steady_clock::now()) {}
 
   ~ScopedTimer() {
-    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    const auto end = std::chrono::steady_clock::now();
     aggregator_->Add(name_,
-                     std::chrono::duration<double>(elapsed).count());
+                     std::chrono::duration<double>(end - start_).count());
+    if (TraceRecorder::Active()) {
+      TraceRecorder::Get().RecordSpan(name_, start_, end, /*tid_slot=*/0,
+                                      iteration_);
+    }
   }
 
   ScopedTimer(const ScopedTimer&) = delete;
@@ -75,6 +87,34 @@ class ScopedTimer {
  private:
   TimingAggregator* aggregator_;
   std::string name_;
+  uint64_t iteration_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// RAII trace-only span (no aggregator bucket): used for spans that would
+/// double-count a TimingAggregator top-level bucket, like the scheduler's
+/// whole-iteration envelope.
+class TraceSpan {
+ public:
+  TraceSpan(std::string name, uint64_t iteration)
+      : name_(std::move(name)),
+        iteration_(iteration),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ~TraceSpan() {
+    if (TraceRecorder::Active()) {
+      TraceRecorder::Get().RecordSpan(name_, start_,
+                                      std::chrono::steady_clock::now(),
+                                      /*tid_slot=*/0, iteration_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  std::string name_;
+  uint64_t iteration_;
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -5,12 +5,30 @@
 #include <cstdlib>
 #include <new>
 
+#include "obs/metrics.h"
+
 namespace bdm {
 
 namespace {
 
 size_t RoundUp(size_t value, size_t multiple) {
   return (value + multiple - 1) / multiple * multiple;
+}
+
+struct AllocMetrics {
+  int news = MetricsRegistry::Get().RegisterCounter("alloc.news");
+  int deletes = MetricsRegistry::Get().RegisterCounter("alloc.deletes");
+  int refill_central_batches =
+      MetricsRegistry::Get().RegisterCounter("alloc.refill_central_batches");
+  int refill_carve_batches =
+      MetricsRegistry::Get().RegisterCounter("alloc.refill_carve_batches");
+  int migrated_batches =
+      MetricsRegistry::Get().RegisterCounter("alloc.migrated_batches");
+};
+
+const AllocMetrics& Metrics() {
+  static const AllocMetrics metrics;
+  return metrics;
 }
 
 }  // namespace
@@ -34,6 +52,11 @@ NumaPoolAllocator::~NumaPoolAllocator() {
 }
 
 void* NumaPoolAllocator::New(int thread_slot) {
+  // The allocator thread-slot convention (main = 0, worker tid + 1) matches
+  // the metrics shard convention, so the slot doubles as the shard index.
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry::Get().Add(Metrics().news, 1, thread_slot);
+  }
   FreeList& list = local_[thread_slot];
   FreeNode* node = list.Pop();
   if (node == nullptr) {
@@ -47,14 +70,23 @@ void* NumaPoolAllocator::New(int thread_slot) {
 }
 
 void NumaPoolAllocator::Delete(void* p, int thread_slot) {
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry::Get().Add(Metrics().deletes, 1, thread_slot);
+  }
   FreeList& list = local_[thread_slot];
   list.Push(static_cast<FreeNode*>(p));
   // Migrate surplus batches to the central list so memory freed by one
   // thread can be reused by others (the paper's leak-avoidance migration).
   if (list.NumFullBatches() > config_.max_local_batches) {
+    uint64_t migrated = 0;
     std::scoped_lock lock(central_mutex_);
     while (list.NumFullBatches() > config_.max_local_batches) {
       central_.PushBatch(list.PopBatch());
+      ++migrated;
+    }
+    if (MetricsRegistry::Enabled()) {
+      MetricsRegistry::Get().Add(Metrics().migrated_batches, migrated,
+                                 thread_slot);
     }
   }
 }
@@ -65,8 +97,15 @@ void NumaPoolAllocator::Refill(int thread_slot) {
     std::scoped_lock lock(central_mutex_);
     if (FreeNode* batch = central_.PopBatch()) {
       list.PushBatch(batch);
+      if (MetricsRegistry::Enabled()) {
+        MetricsRegistry::Get().Add(Metrics().refill_central_batches, 1,
+                                   thread_slot);
+      }
       return;
     }
+  }
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry::Get().Add(Metrics().refill_carve_batches, 1, thread_slot);
   }
   std::scoped_lock lock(block_mutex_);
   CarveBatchLocked(&list);

@@ -4,10 +4,25 @@
 
 #include "core/agent.h"
 #include "env/environment.h"
+#include "obs/metrics.h"
 #include "physics/interaction_force.h"
 #include "sched/numa_thread_pool.h"
 
 namespace bdm {
+
+namespace {
+
+struct PairMetrics {
+  int static_pair_skips =
+      MetricsRegistry::Get().RegisterCounter("forces.static_pair_skips");
+};
+
+const PairMetrics& Metrics() {
+  static const PairMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 void PairForceAccumulator::Accumulate(const Environment& env,
                                       const InteractionForce& force,
@@ -48,6 +63,12 @@ void PairForceAccumulator::Accumulate(const Environment& env,
       squared_radius, pool,
       [&](const Environment::NeighborPair& pair, int tid) {
         if (skip_static && pair.a->IsStatic() && pair.b->IsStatic()) {
+          // Both endpoints provably static (O6): the pair force is known
+          // unchanged and neither side will move. Self-resolving Add: tid
+          // is a slab index, not necessarily the executing thread.
+          if (MetricsRegistry::Enabled()) {
+            MetricsRegistry::Get().Add(Metrics().static_pair_skips, 1);
+          }
           return;
         }
         const Real3 f =

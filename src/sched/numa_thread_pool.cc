@@ -2,10 +2,43 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+
+#include "obs/metrics.h"
 
 namespace bdm {
 
+namespace {
+
+// Counter/gauge ids are resolved once per process (registration locks; the
+// hot paths below only do shard adds with the cached ids).
+struct SchedMetrics {
+  int own_blocks = MetricsRegistry::Get().RegisterCounter("sched.blocks_own");
+  int local_steal_attempts =
+      MetricsRegistry::Get().RegisterCounter("sched.steal_local_attempts");
+  int local_steal_blocks =
+      MetricsRegistry::Get().RegisterCounter("sched.steal_local_blocks");
+  int remote_steal_attempts =
+      MetricsRegistry::Get().RegisterCounter("sched.steal_remote_attempts");
+  int remote_steal_blocks =
+      MetricsRegistry::Get().RegisterCounter("sched.steal_remote_blocks");
+  int slab_dispatches =
+      MetricsRegistry::Get().RegisterCounter("sched.slab_dispatches");
+  int slab_imbalance =
+      MetricsRegistry::Get().RegisterGauge("sched.slab_imbalance");
+};
+
+const SchedMetrics& Metrics() {
+  static const SchedMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
 NumaThreadPool::NumaThreadPool(const Topology& topology) : topology_(topology) {
+  // Any pool guarantees the metrics registry folds its workers' shards,
+  // even when the pool is used standalone (tests) without a Simulation.
+  MetricsRegistry::Get().ConfigureSlots(topology_.NumThreads() + 1);
   workers_.reserve(topology_.NumThreads());
   for (int tid = 0; tid < topology_.NumThreads(); ++tid) {
     workers_.emplace_back([this, tid] { WorkerLoop(tid); });
@@ -125,13 +158,50 @@ void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
     }
     return;
   }
+  if (!MetricsRegistry::Enabled()) {
+    Run([&](int tid) {
+      const int64_t lo = slabs.bounds[tid];
+      const int64_t hi = slabs.bounds[tid + 1];
+      if (lo < hi) {
+        fn(lo, hi, tid);
+      }
+    });
+    return;
+  }
+  // Instrumented dispatch: each worker stamps its slab's wall time (two
+  // clock reads per dispatch, nothing per item); the dispatcher reduces the
+  // stamps to a max/mean imbalance gauge. The static slab split is even in
+  // *items*, so this gauge directly shows when per-item cost is skewed
+  // across slabs (e.g. one dense grid region).
+  std::vector<double> slab_seconds(NumThreads(), 0.0);
   Run([&](int tid) {
     const int64_t lo = slabs.bounds[tid];
     const int64_t hi = slabs.bounds[tid + 1];
     if (lo < hi) {
+      const auto start = std::chrono::steady_clock::now();
       fn(lo, hi, tid);
+      slab_seconds[tid] = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
     }
   });
+  double max_seconds = 0;
+  double sum_seconds = 0;
+  int busy_slabs = 0;
+  for (int t = 0; t < NumThreads(); ++t) {
+    if (slabs.bounds[t] < slabs.bounds[t + 1]) {
+      max_seconds = std::max(max_seconds, slab_seconds[t]);
+      sum_seconds += slab_seconds[t];
+      ++busy_slabs;
+    }
+  }
+  auto& registry = MetricsRegistry::Get();
+  registry.Add(Metrics().slab_dispatches, 1,
+               internal::t_pool_worker_id + 1);
+  if (busy_slabs > 0 && sum_seconds > 0) {
+    registry.SetGauge(Metrics().slab_imbalance,
+                      max_seconds / (sum_seconds / busy_slabs));
+  }
 }
 
 void NumaThreadPool::ForEachBlock(const std::vector<int64_t>& blocks_per_domain,
@@ -198,36 +268,53 @@ void NumaThreadPool::ForEachBlock(const std::vector<int64_t>& blocks_per_domain,
   assert(static_cast<int>(blocks_per_domain.size()) <= topology_.NumDomains());
 
   Run([&](int tid) {
-    auto drain = [&](int victim) {
+    auto drain = [&](int victim) -> uint64_t {
       Cursor& c = cursors[victim];
       const int d = slot_domain[victim];
+      uint64_t processed = 0;
       for (;;) {
         const int64_t idx = c.next.fetch_add(1, std::memory_order_relaxed);
         if (idx >= c.end) {
-          return;
+          return processed;
         }
         fn(d, idx, tid);
+        ++processed;
       }
     };
     // Level 0: own blocks.
-    drain(tid);
+    const uint64_t own = drain(tid);
     // Level 1: steal within the same domain.
+    uint64_t local_attempts = 0;
+    uint64_t local_blocks = 0;
     const int my_domain = topology_.DomainOfThread(tid);
     if (my_domain < num_domains) {
       for (int victim : topology_.ThreadsOfDomain(my_domain)) {
         if (victim != tid) {
-          drain(victim);
+          ++local_attempts;
+          local_blocks += drain(victim);
         }
       }
     }
     // Level 2: steal from other domains.
+    uint64_t remote_attempts = 0;
+    uint64_t remote_blocks = 0;
     for (int d = 0; d < num_domains; ++d) {
       if (d == my_domain) {
         continue;
       }
       for (int victim : topology_.ThreadsOfDomain(d)) {
-        drain(victim);
+        ++remote_attempts;
+        remote_blocks += drain(victim);
       }
+    }
+    if (MetricsRegistry::Enabled()) {
+      auto& registry = MetricsRegistry::Get();
+      const int slot = tid + 1;
+      registry.Add(Metrics().own_blocks, own, slot);
+      registry.Add(Metrics().local_steal_attempts, local_attempts, slot);
+      registry.Add(Metrics().local_steal_blocks, local_blocks, slot);
+      registry.Add(Metrics().remote_steal_attempts, remote_attempts, slot);
+      registry.Add(Metrics().remote_steal_blocks, remote_blocks, slot);
     }
   });
 }
