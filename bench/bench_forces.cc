@@ -18,13 +18,16 @@
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/cell.h"
 #include "core/resource_manager.h"
+#include "core/soa_store.h"
 #include "env/uniform_grid.h"
 #include "harness.h"
 #include "math/random.h"
+#include "physics/force_kernel.h"
 #include "physics/interaction_force.h"
 #include "physics/pair_force_accumulator.h"
 
@@ -121,6 +124,91 @@ int Run() {
         });
       });
 
+  // C: fused SoA engine (ISSUE 6). Same half-stencil pair set as B, but the
+  // zeroing is fused into the traversal dispatch, the force is the inlined
+  // branch-free kernel evaluated straight off the persistent store's arrays
+  // (no Agent access, no virtual call), and the scatter goes into the
+  // store's shared shards. Identical chains + identical slab partition =>
+  // identical scatter and fold order => disp_c must equal disp_b BITWISE.
+  SoaStore& store = rm.GetSoaStore();
+  SoaStore::ForceShards& shards = store.force_shards();
+  const real_t* px = store.pos_x();
+  const real_t* py = store.pos_y();
+  const real_t* pz = store.pos_z();
+  const real_t* dia = store.diameter();
+  const real_t repulsion = force.repulsion();
+  const real_t attraction = force.attraction();
+  const real_t attraction_range = force.attraction_range();
+  std::vector<Real3> disp_c(count);
+  std::vector<int> nzf_c(count, 0);
+  std::vector<Real3> momentum_c(pool.NumThreads());
+  const double ns_fused = MeasureNsPerAgent(count, [&] {
+    for (auto& m : momentum_c) {
+      m = {0, 0, 0};
+    }
+    shards.Ensure(pool.NumThreads(), count);
+    pool.Run([&](int tid) {
+      SoaStore::ForceShard& shard = shards.shard(tid);
+      std::memset(shard.fx.data(), 0, count * sizeof(real_t));
+      std::memset(shard.fy.data(), 0, count * sizeof(real_t));
+      std::memset(shard.fz.data(), 0, count * sizeof(real_t));
+      std::memset(shard.non_zero.data(), 0, count * sizeof(uint32_t));
+      const int64_t lo = slabs.bounds[tid];
+      const int64_t hi = slabs.bounds[tid + 1];
+      if (lo >= hi) {
+        return;
+      }
+      real_t* fx = shard.fx.data();
+      real_t* fy = shard.fy.data();
+      real_t* fz = shard.fz.data();
+      uint32_t* non_zero = shard.non_zero.data();
+      grid.ForEachNeighborPairInSlab(
+          squared_radius, lo, hi, [&](uint32_t i, uint32_t j, real_t d2) {
+            const real_t dx = px[i] - px[j];
+            const real_t dy = py[i] - py[j];
+            const real_t dz = pz[i] - pz[j];
+            const real_t sum_radii =
+                dia[i] * real_t{0.5} + dia[j] * real_t{0.5};
+            const Real3 f = detail::SphereForceKernel(
+                dx, dy, dz, d2, sum_radii, repulsion, attraction,
+                attraction_range);
+            if (f.SquaredNorm() == 0) {
+              return;
+            }
+            fx[i] += f.x;
+            fy[i] += f.y;
+            fz[i] += f.z;
+            ++non_zero[i];
+            fx[j] -= f.x;
+            fy[j] -= f.y;
+            fz[j] -= f.z;
+            ++non_zero[j];
+          });
+    });
+    const int num_shards = shards.num_shards();
+    pool.RunSlabs(slabs, [&](int64_t lo, int64_t hi, int tid) {
+      for (int64_t i = lo; i < hi; ++i) {
+        Real3 sum{};
+        uint32_t nz = 0;
+        for (int t = 0; t < num_shards; ++t) {
+          const SoaStore::ForceShard& shard = shards.shard(t);
+          sum.x += shard.fx[i];
+          sum.y += shard.fy[i];
+          sum.z += shard.fz[i];
+          nz += shard.non_zero[i];
+        }
+        if (nz == 0) {
+          disp_c[i] = {0, 0, 0};
+          nzf_c[i] = 0;
+          continue;
+        }
+        momentum_c[tid] += sum;
+        disp_c[i] = displacement_of(sum);
+        nzf_c[i] = static_cast<int>(nz);
+      }
+    });
+  });
+
   // --- cross-checks --------------------------------------------------------
   Real3 net{};
   for (const Real3& m : momentum) {
@@ -157,6 +245,31 @@ int Run() {
                  net_momentum);
     return 1;
   }
+  // Fused engine: nzf must agree exactly (same pair set), displacements
+  // BITWISE (same scatter and fold order as B -- see kernel C's comment),
+  // momentum must vanish independently.
+  uint64_t fused_mismatches = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (nzf_c[i] != nzf_b[i] || disp_c[i].x != disp_b[i].x ||
+        disp_c[i].y != disp_b[i].y || disp_c[i].z != disp_b[i].z) {
+      ++fused_mismatches;
+    }
+  }
+  if (fused_mismatches != 0) {
+    std::fprintf(stderr, "fused/pair disagreement on %llu agents\n",
+                 static_cast<unsigned long long>(fused_mismatches));
+    return 1;
+  }
+  Real3 net_c_total{};
+  for (const Real3& m : momentum_c) {
+    net_c_total += m;
+  }
+  const double net_momentum_fused = net_c_total.Norm();
+  if (net_momentum_fused > 1e-8 * std::max(1.0, force_scale)) {
+    std::fprintf(stderr, "fused momentum not conserved: |net force| = %g\n",
+                 net_momentum_fused);
+    return 1;
+  }
 
   const double speedup = ns_per_agent / ns_pair;
   PrintHeader("Mechanical forces: per-agent vs pair-symmetric engine");
@@ -168,8 +281,13 @@ int Run() {
               ns_per_agent);
   std::printf("  pair-symmetric (1x evals)  : %8.1f ns/agent-step  (%.2fx)\n",
               ns_pair, speedup);
-  std::printf("  displacement checksum %.12g, |net force| %.3g\n", checksum,
-              net_momentum);
+  const double fused_speedup = ns_per_agent / ns_fused;
+  std::printf(
+      "  fused SoA (store kernel)   : %8.1f ns/agent-step  (%.2fx, bitwise "
+      "== pair)\n",
+      ns_fused, fused_speedup);
+  std::printf("  displacement checksum %.12g, |net force| %.3g / %.3g\n",
+              checksum, net_momentum, net_momentum_fused);
 
   WriteBenchJson(
       "BENCH_forces.json",
@@ -179,7 +297,12 @@ int Run() {
        {"forces_pair_symmetric", n, ns_pair,
         {{"speedup", speedup},
          {"displacement_checksum", checksum},
-         {"net_momentum", net_momentum}}}});
+         {"net_momentum", net_momentum}}},
+       {"forces_fused", n, ns_fused,
+        {{"speedup_vs_per_agent", fused_speedup},
+         {"speedup_vs_pair", ns_pair / ns_fused},
+         {"nzf_agreement", fused_mismatches == 0 ? 1.0 : 0.0},
+         {"net_momentum", net_momentum_fused}}}});
   return 0;
 }
 

@@ -9,6 +9,7 @@
 #include "core/default_ops.h"
 #include "core/resource_manager.h"
 #include "core/simulation.h"
+#include "core/soa_store.h"
 #include "physics/interaction_force.h"
 #include "sched/numa_thread_pool.h"
 
@@ -18,44 +19,34 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
   auto* rm = sim->GetResourceManager();
   auto* pool = sim->GetThreadPool();
   const Param& param = sim->GetParam();
-  const uint64_t n = rm->GetNumAgents();
+
+  // The persistent store IS the device buffer: no per-call gather. The
+  // refresh inside EnsureCurrent only runs when behaviors moved or resized
+  // agents since the last engine write-back; its dense order is domain-major
+  // -- identical to the flatten the old gather performed -- so the CSR grid
+  // and all kernel sums are unchanged bit for bit.
+  SoaStore& store = rm->GetSoaStore();
+  store.EnsureCurrent(*rm, pool);
+  const uint64_t n = store.TotalAgents();
   if (n == 0) {
     return;
   }
+  Agent* const* agents = store.agents();
+  const real_t* pos_x = store.pos_x();
+  const real_t* pos_y = store.pos_y();
+  const real_t* pos_z = store.pos_z();
+  const real_t* dia = store.diameter();
 
-  // --- gather ---------------------------------------------------------------
-  // Flatten agent pointers; bail out to the per-agent path when the
-  // population contains non-spherical agents (the real GPU kernel has the
-  // same restriction).
-  std::vector<Agent*> agents(n);
+  // Bail out to the per-agent path when the population contains
+  // non-spherical agents (the real GPU kernel has the same restriction).
   std::atomic<bool> all_spheres{true};
-  {
-    uint64_t offset = 0;
-    for (int d = 0; d < rm->GetNumDomains(); ++d) {
-      const auto& domain = rm->GetAgentVector(d);
-      std::copy(domain.begin(), domain.end(), agents.begin() + offset);
-      offset += domain.size();
-    }
-  }
-  pos_x_.resize(n);
-  pos_y_.resize(n);
-  pos_z_.resize(n);
-  radius_.resize(n);
-  disp_x_.assign(n, 0);
-  disp_y_.assign(n, 0);
-  disp_z_.assign(n, 0);
   pool->ParallelFor(0, static_cast<int64_t>(n), 4096,
                     [&](int64_t lo, int64_t hi, int) {
                       for (int64_t i = lo; i < hi; ++i) {
-                        Agent* agent = agents[i];
-                        if (dynamic_cast<Cell*>(agent) == nullptr) {
+                        if (dynamic_cast<Cell*>(agents[i]) == nullptr) {
                           all_spheres.store(false, std::memory_order_relaxed);
+                          return;
                         }
-                        const Real3& p = agent->GetPosition();
-                        pos_x_[i] = p.x;
-                        pos_y_[i] = p.y;
-                        pos_z_[i] = p.z;
-                        radius_[i] = agent->GetDiameter() * real_t{0.5};
                       }
                     });
   if (!all_spheres.load(std::memory_order_relaxed)) {
@@ -65,19 +56,22 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
     });
     return;
   }
+  disp_x_.assign(n, 0);
+  disp_y_.assign(n, 0);
+  disp_z_.assign(n, 0);
 
   // --- build the compact SoA grid (CSR layout, counting sort) ----------------
   real_t lo_x = std::numeric_limits<real_t>::max(), lo_y = lo_x, lo_z = lo_x;
   real_t hi_x = std::numeric_limits<real_t>::lowest(), hi_y = hi_x, hi_z = hi_x;
   real_t max_radius = 0;
   for (uint64_t i = 0; i < n; ++i) {  // cheap serial reduction
-    lo_x = std::min(lo_x, pos_x_[i]);
-    hi_x = std::max(hi_x, pos_x_[i]);
-    lo_y = std::min(lo_y, pos_y_[i]);
-    hi_y = std::max(hi_y, pos_y_[i]);
-    lo_z = std::min(lo_z, pos_z_[i]);
-    hi_z = std::max(hi_z, pos_z_[i]);
-    max_radius = std::max(max_radius, radius_[i]);
+    lo_x = std::min(lo_x, pos_x[i]);
+    hi_x = std::max(hi_x, pos_x[i]);
+    lo_y = std::min(lo_y, pos_y[i]);
+    hi_y = std::max(hi_y, pos_y[i]);
+    lo_z = std::min(lo_z, pos_z[i]);
+    hi_z = std::max(hi_z, pos_z[i]);
+    max_radius = std::max(max_radius, dia[i] * real_t{0.5});
   }
   real_t cell_len = std::max<real_t>(2 * max_radius, 1e-6);
   auto dims = [&](real_t cl, int64_t* nx, int64_t* ny, int64_t* nz) {
@@ -105,24 +99,24 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
     return static_cast<uint32_t>(cx + nx * (cy + ny * cz));
   };
   for (uint64_t i = 0; i < n; ++i) {
-    agent_cell_[i] = cell_of(pos_x_[i], pos_y_[i], pos_z_[i]);
+    agent_cell_[i] = cell_of(pos_x[i], pos_y[i], pos_z[i]);
     ++cell_start_[agent_cell_[i] + 1];
   }
   for (uint64_t c = 0; c < num_cells; ++c) {
     cell_start_[c + 1] += cell_start_[c];
   }
   cell_entries_.resize(n);
-  {
-    std::vector<uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
-    for (uint64_t i = 0; i < n; ++i) {
-      cell_entries_[cursor[agent_cell_[i]]++] = static_cast<uint32_t>(i);
-    }
+  cell_cursor_.assign(cell_start_.begin(), cell_start_.end() - 1);
+  for (uint64_t i = 0; i < n; ++i) {
+    cell_entries_[cell_cursor_[agent_cell_[i]]++] = static_cast<uint32_t>(i);
   }
 
   // --- kernel -----------------------------------------------------------------
   // Pure data-parallel pass over the SoA buffers; Agent objects are not
   // touched (this is the part a GPU would execute). The force is the base
-  // Cortex3D sphere force with the simulation's coefficients.
+  // Cortex3D sphere force with the simulation's coefficients. The radius
+  // terms read dia*0.5 on the fly -- exactly the value the old gather
+  // buffered, so the arithmetic is unchanged.
   const InteractionForce* force = sim->GetInteractionForce();
   const real_t repulsion = force->repulsion();
   const real_t attraction = force->attraction();
@@ -134,6 +128,7 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
           const int64_t cx = cell % nx;
           const int64_t cy = (cell / nx) % ny;
           const int64_t cz = cell / (nx * ny);
+          const real_t radius_i = dia[i] * real_t{0.5};
           real_t fx = 0, fy = 0, fz = 0;
           for (int64_t z = std::max<int64_t>(cz - 1, 0);
                z <= std::min<int64_t>(cz + 1, nz - 1); ++z) {
@@ -147,11 +142,11 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
                   if (j == static_cast<uint32_t>(i)) {
                     continue;
                   }
-                  const real_t dx = pos_x_[i] - pos_x_[j];
-                  const real_t dy = pos_y_[i] - pos_y_[j];
-                  const real_t dz = pos_z_[i] - pos_z_[j];
+                  const real_t dx = pos_x[i] - pos_x[j];
+                  const real_t dy = pos_y[i] - pos_y[j];
+                  const real_t dz = pos_z[i] - pos_z[j];
                   const real_t d2 = dx * dx + dy * dy + dz * dz;
-                  const real_t sum_radii = radius_[i] + radius_[j];
+                  const real_t sum_radii = radius_i + dia[j] * real_t{0.5};
                   const real_t outer = sum_radii * (1 + attraction_range);
                   if (d2 >= outer * outer) {
                     continue;
@@ -201,16 +196,22 @@ void OffloadDisplacementOp::Run(Simulation* sim) {
       });
 
   // --- scatter -----------------------------------------------------------------
-  pool->ParallelFor(0, static_cast<int64_t>(n), 4096,
-                    [&](int64_t lo, int64_t hi, int) {
-                      for (int64_t i = lo; i < hi; ++i) {
-                        if (disp_x_[i] != 0 || disp_y_[i] != 0 ||
-                            disp_z_[i] != 0) {
-                          agents[i]->ApplyDisplacement(
-                              {disp_x_[i], disp_y_[i], disp_z_[i]}, param);
-                        }
-                      }
-                    });
+  // Every agent here is a plain Cell (checked above), whose
+  // ApplyDisplacement is SetPosition(position + d) -- so the engine
+  // write-back is behavior-identical and additionally keeps the store
+  // current, sparing the next call's refresh pass.
+  pool->ParallelFor(
+      0, static_cast<int64_t>(n), 4096, [&](int64_t lo, int64_t hi, int) {
+        for (int64_t i = lo; i < hi; ++i) {
+          if (disp_x_[i] != 0 || disp_y_[i] != 0 || disp_z_[i] != 0) {
+            Agent* agent = agents[i];
+            const Real3 p = agent->GetPosition() +
+                            Real3{disp_x_[i], disp_y_[i], disp_z_[i]};
+            agent->CommitEnginePosition(p);
+            store.WriteBackPosition(static_cast<uint64_t>(i), p);
+          }
+        }
+      });
 }
 
 }  // namespace bdm::accel

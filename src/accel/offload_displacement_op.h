@@ -2,18 +2,26 @@
 //
 // The real BioDynaMo "offloads computations to the GPU, transparently to
 // the user" (paper Section 2, citing Hesam et al. [27]): the mechanical-
-// forces operation gathers agent data into flat buffers, runs a CUDA/OpenCL
-// kernel over them, and scatters the resulting displacements back. No GPU
-// exists in this environment, so this operation reproduces the *structure*
-// of that offload on the CPU: a gather into structure-of-arrays buffers, a
-// data-parallel kernel that never touches Agent objects (it rebuilds a
-// compact SoA uniform grid and evaluates the sphere-sphere Cortex3D force),
-// and a scatter phase applying the displacements. Like the real GPU path it
-// supports spherical agents only; simulations containing other shapes fall
-// back to the regular MechanicalForcesOp per agent.
+// forces operation hands flat agent buffers to a CUDA/OpenCL kernel and
+// scatters the resulting displacements back. No GPU exists in this
+// environment, so this operation reproduces the *structure* of that offload
+// on the CPU: a data-parallel kernel over structure-of-arrays buffers that
+// never touches Agent objects (it builds a compact CSR uniform grid and
+// evaluates the sphere-sphere Cortex3D force), and a scatter phase applying
+// the displacements. Like the real GPU path it supports spherical agents
+// only; simulations containing other shapes fall back to the regular
+// MechanicalForcesOp per agent.
+//
+// Since ISSUE 6 the "device" position/radius buffers are NOT private copies
+// re-gathered per call: the kernel reads the ResourceManager's persistent
+// SoaStore directly (EnsureCurrent refreshes it only when behaviors moved
+// agents), and the scatter writes displaced positions back through the same
+// store so the next call starts current. Only the displacement buffers and
+// the CSR cell index remain op-local, and all of them persist across calls
+// -- the per-call gather and its allocation churn are gone.
 //
 // Besides fidelity, this doubles as an ablation: AoS-in-place (default op)
-// vs gather/SoA/scatter evaluation of the same physics (bench_ablation).
+// vs SoA-kernel evaluation of the same physics (bench_ablation).
 #ifndef BDM_ACCEL_OFFLOAD_DISPLACEMENT_OP_H_
 #define BDM_ACCEL_OFFLOAD_DISPLACEMENT_OP_H_
 
@@ -33,14 +41,14 @@ class OffloadDisplacementOp : public StandaloneOperation {
 
  private:
   // Reused "device" buffers (the offload analogue of persistent device
-  // allocations).
-  std::vector<real_t> pos_x_, pos_y_, pos_z_;
-  std::vector<real_t> radius_;
+  // allocations). Positions/radii live in the SoaStore; only the kernel's
+  // outputs and the CSR cell index are op-local.
   std::vector<real_t> disp_x_, disp_y_, disp_z_;
   // Compact SoA grid: cell start offsets (CSR layout) + agent indices.
   std::vector<uint32_t> cell_start_;
   std::vector<uint32_t> cell_entries_;
   std::vector<uint32_t> agent_cell_;
+  std::vector<uint32_t> cell_cursor_;
 };
 
 }  // namespace bdm::accel

@@ -78,6 +78,8 @@ void Agent::ReadState(std::istream& in) {
   propagate_staticness_ = io::ReadScalar<uint8_t>(in) != 0;
   is_static_next_.store(io::ReadScalar<uint8_t>(in) != 0,
                         std::memory_order_relaxed);
+  // Checkpoint restore rewrites geometry without going through the setters.
+  soa::MarkAosGeometryDirty();
 }
 
 void* Agent::operator new(size_t size) {

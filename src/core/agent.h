@@ -16,6 +16,7 @@
 
 #include "core/agent_uid.h"
 #include "core/behavior.h"
+#include "core/soa_dirty.h"
 #include "math/real3.h"
 
 namespace bdm {
@@ -88,6 +89,17 @@ class Agent {
   /// Applies a displacement previously computed by CalculateDisplacement.
   virtual void ApplyDisplacement(const Real3& displacement, const Param& param);
 
+  /// Engine-internal position write-back used by the fused mechanics path:
+  /// same staticness semantics as SetPosition (the move wakes the agent and
+  /// its neighbors), but does NOT raise the SoA geometry-dirty flag -- the
+  /// caller updates the store arrays itself in the same pass, which is what
+  /// keeps a quiescent population free of per-iteration refresh work.
+  void CommitEnginePosition(const Real3& position) {
+    position_ = position;
+    is_static_next_.store(false, std::memory_order_relaxed);
+    propagate_staticness_ = true;
+  }
+
   /// Whether this agent's CalculateDisplacement deviates from the generic
   /// pairwise collision response (extra force terms, neighbor exclusions).
   /// The pair-symmetric mechanics engine assumes the total force is a sum of
@@ -115,12 +127,15 @@ class Agent {
   }
   /// Marks the agent as modified. With `affects_neighbors`, the change can
   /// increase pairwise forces on neighbors (movement, growth), so their
-  /// staticness must be reset too (Section 5 conditions i-iii).
+  /// staticness must be reset too (Section 5 conditions i-iii). Geometry
+  /// changes reaching this point come from outside the engine (behaviors),
+  /// so the SoA store's copy goes stale -- raise its dirty flag.
   void FlagModified(bool affects_neighbors) {
     is_static_next_.store(false, std::memory_order_relaxed);
     if (affects_neighbors) {
       propagate_staticness_ = true;
     }
+    soa::MarkAosGeometryDirty();
   }
 
   // Route allocations through the pool allocator when enabled.

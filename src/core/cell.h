@@ -26,10 +26,13 @@ class Cell : public Agent {
 
   /// Growth (a larger diameter can increase pairwise forces) wakes the
   /// agent and its neighbors; shrinking is safe under the Section 5 rules
-  /// and changes no staticness flags.
+  /// and changes no staticness flags -- but both directions invalidate the
+  /// SoA store's diameter copy (FlagModified covers the growth case).
   void SetDiameter(real_t diameter) override {
     if (diameter > diameter_) {
       FlagModified(/*affects_neighbors=*/true);
+    } else if (diameter != diameter_) {
+      soa::MarkAosGeometryDirty();
     }
     diameter_ = diameter;
   }

@@ -7,10 +7,26 @@
 #include "core/agent.h"
 #include "core/resource_manager.h"
 #include "core/simulation.h"
+#include "core/soa_dirty.h"
 #include "env/environment.h"
+#include "obs/metrics.h"
 #include "sched/numa_thread_pool.h"
 
 namespace bdm {
+
+namespace {
+
+struct AuditMetricIds {
+  int store_mismatches =
+      MetricsRegistry::Get().RegisterCounter("audit.store_mismatches");
+};
+
+const AuditMetricIds& AuditMetrics() {
+  static const AuditMetricIds metrics;
+  return metrics;
+}
+
+}  // namespace
 
 std::vector<std::string> ConsistencyAudit::CheckResourceManager(
     const ResourceManager& rm, const AgentUidGenerator& uid_generator) {
@@ -137,6 +153,96 @@ std::vector<std::string> ConsistencyAudit::CheckEnvironment(
   return violations;
 }
 
+std::vector<std::string> ConsistencyAudit::CheckSoaStore(
+    const ResourceManager& rm, const Environment* env) {
+  std::vector<std::string> violations;
+  const SoaStore& store = rm.GetSoaStore();
+  if (!store.IsLive() || store.IsStructureDirty()) {
+    // Not yet built, or a structural change (direct AddAgent, vector
+    // replacement) is pending: the arrays are stale by design until the
+    // next EnsureCurrent rebuild. Nothing to compare.
+    return violations;
+  }
+  const auto complain = [&](const std::string& what) {
+    violations.push_back("soa_store: " + what);
+  };
+
+  // Layout: the dense-index map must agree with the per-domain vectors --
+  // and with the environment's dense count when the environment serves its
+  // index from the store. A count disagreement here means the commit
+  // protocol desynchronized the store; it must be LOUD (thrown by the audit
+  // op and visible as audit.store_mismatches even if the throw is caught).
+  if (store.NumDomains() != rm.GetNumDomains()) {
+    complain("store spans " + std::to_string(store.NumDomains()) +
+             " domains, resource manager has " +
+             std::to_string(rm.GetNumDomains()));
+  } else {
+    for (int d = 0; d < store.NumDomains(); ++d) {
+      const uint64_t span = store.DomainOffset(d + 1) - store.DomainOffset(d);
+      if (span != rm.GetNumAgents(d)) {
+        complain("domain " + std::to_string(d) + " holds " +
+                 std::to_string(span) + " dense slots for " +
+                 std::to_string(rm.GetNumAgents(d)) + " agents");
+      }
+    }
+  }
+  if (store.TotalAgents() != rm.GetNumAgents()) {
+    complain("dense-index map covers " + std::to_string(store.TotalAgents()) +
+             " agents, resource manager holds " +
+             std::to_string(rm.GetNumAgents()));
+  }
+  if (env != nullptr && env->DenseAgents() == store.agents() &&
+      env->DenseAgentCount() != store.TotalAgents()) {
+    complain("environment dense index counts " +
+             std::to_string(env->DenseAgentCount()) +
+             " agents over the store's " +
+             std::to_string(store.TotalAgents()));
+  }
+
+  // Per-slot agreement: agent pointers always; geometry and staticness only
+  // while no behavior/restore touched the AoS side since the last refresh
+  // (the dirty flag marks exactly that window, in which the store is
+  // *intentionally* one refresh behind).
+  if (violations.empty()) {
+    const bool geometry_current =
+        !soa::g_aos_geometry_dirty.load(std::memory_order_relaxed);
+    for (int d = 0; d < store.NumDomains(); ++d) {
+      const auto& domain = rm.agents_[d];
+      const uint64_t offset = store.DomainOffset(d);
+      for (uint64_t i = 0; i < domain.size(); ++i) {
+        Agent* agent = domain[i];
+        const uint64_t dense = offset + i;
+        if (store.agents()[dense] != agent) {
+          std::ostringstream os;
+          os << "dense slot " << dense << " holds the wrong agent for "
+             << AgentHandle{static_cast<uint16_t>(d), i};
+          complain(os.str());
+          continue;
+        }
+        if (!geometry_current) {
+          continue;
+        }
+        const Real3& p = agent->GetPosition();
+        if (store.pos_x()[dense] != p.x || store.pos_y()[dense] != p.y ||
+            store.pos_z()[dense] != p.z ||
+            store.diameter()[dense] != agent->GetDiameter() ||
+            (store.is_static()[dense] != 0) != agent->IsStatic()) {
+          std::ostringstream os;
+          os << "dense slot " << dense << " geometry diverged from agent "
+             << agent->GetUid();
+          complain(os.str());
+        }
+      }
+    }
+  }
+
+  if (!violations.empty() && MetricsRegistry::Enabled()) {
+    MetricsRegistry::Get().Add(AuditMetrics().store_mismatches,
+                               violations.size());
+  }
+  return violations;
+}
+
 std::vector<std::string> ConsistencyAudit::CheckAll(Simulation* sim,
                                                     bool refresh_environment) {
   ResourceManager* rm = sim->GetResourceManager();
@@ -149,6 +255,9 @@ std::vector<std::string> ConsistencyAudit::CheckAll(Simulation* sim,
   const std::vector<std::string> env_violations = CheckEnvironment(*env, *rm);
   violations.insert(violations.end(), env_violations.begin(),
                     env_violations.end());
+  const std::vector<std::string> store_violations = CheckSoaStore(*rm, env);
+  violations.insert(violations.end(), store_violations.begin(),
+                    store_violations.end());
   return violations;
 }
 

@@ -48,6 +48,18 @@ class ConsistencyAudit {
   static std::vector<std::string> CheckEnvironment(const Environment& env,
                                                    const ResourceManager& rm);
 
+  /// Verifies the persistent SoA store against the resource manager (and,
+  /// when the environment serves its dense index from the store, against
+  /// the environment's count): dense-index layout vs per-domain sizes,
+  /// per-slot agent pointers, and -- when no behavior moved agents since the
+  /// last refresh -- bitwise geometry/staticness agreement. Every violation
+  /// also bumps the audit.store_mismatches counter so a disagreement is
+  /// loud in metrics even when the thrown audit error is swallowed.
+  /// Skipped silently while the store is not live or a structural change is
+  /// pending (both states are "stale by design" until the next rebuild).
+  static std::vector<std::string> CheckSoaStore(const ResourceManager& rm,
+                                                const Environment* env);
+
   /// Runs every check on a quiesced simulation. `refresh_environment`
   /// rebuilds the index first so the environment checks compare against
   /// current state -- the right mode for tests that call the audit at

@@ -49,8 +49,17 @@ void StaticnessOp::Run(Simulation* sim) {
   });
   // Pass 2: promote next-iteration flags. Separate pass: pass 1 must have
   // observed all propagate flags before any of them is cleared.
-  rm->ForEachAgentParallel(
-      [](Agent* agent, AgentHandle, int) { agent->UpdateStaticness(); });
+  // UpdateStaticness is the ONLY writer of Agent::is_static_, so syncing
+  // the SoA store's copy here keeps it exact for the whole iteration (the
+  // fused mechanics op reads staticness from the store arrays).
+  SoaStore& store = rm->GetSoaStore();
+  const bool sync_store = store.IsLive() && !store.IsStructureDirty();
+  rm->ForEachAgentParallel([&](Agent* agent, AgentHandle handle, int) {
+    agent->UpdateStaticness();
+    if (sync_store) {
+      store.SetStatic(store.DenseIndex(handle), agent->IsStatic());
+    }
+  });
 }
 
 void BehaviorOp::Run(Agent* agent, AgentHandle, int tid, Simulation* sim) {
@@ -104,8 +113,14 @@ void MechanicalForcesPairOp::Run(Simulation* sim) {
     return;
   }
   const real_t radius = env->GetInteractionRadius();
+  // With the SoA-primary store on, scatter into its shared force shards so
+  // this engine and the fused op keep ONE set of scatter buffers between
+  // them (soa/mirror_bytes then reports the engine's only SoA copy).
+  SoaStore::ForceShards* shards =
+      param.soa_primary ? &rm->GetSoaStore().force_shards() : nullptr;
   accumulator_.Accumulate(*env, *sim->GetInteractionForce(), radius * radius,
-                          param.detect_static_agents, sim->GetThreadPool());
+                          param.detect_static_agents, sim->GetThreadPool(),
+                          shards);
   Agent* const* agents = env->DenseAgents();
   accumulator_.Flush(
       sim->GetThreadPool(),

@@ -62,6 +62,14 @@ struct Param {
   /// twice, exploiting Newton's third law. When false, the per-agent
   /// reference path (Cell::CalculateDisplacement per agent) runs instead.
   bool pair_symmetric_forces = true;
+  /// SoA-primary mechanics: the persistent SoA store (core/soa_store.h) is
+  /// the working copy of agent geometry -- the uniform grid reads it instead
+  /// of filling a private mirror, and (with pair_symmetric_forces) the fused
+  /// MechanicsFusedOp runs pair forces + displacement integration over the
+  /// store arrays, writing AoS positions back in the same pass. When false,
+  /// every consumer keeps its own per-iteration gather; that path is the
+  /// bitwise A/B reference for the fused one.
+  bool soa_primary = true;
 
   // --- memory manager ------------------------------------------------------
   NumaPoolAllocator::Config memory;  // mem_mgr_growth_rate & friends

@@ -136,6 +136,9 @@ void ResourceManager::AddAgent(Agent* agent) {
   if (agent->HasCustomMechanics()) {
     num_custom_mechanics_.fetch_add(1, std::memory_order_relaxed);
   }
+  // Direct adds bypass the commit protocol; the store re-derives the layout
+  // on its next EnsureCurrent.
+  soa_store_.MarkStructureDirty();
 }
 
 void ResourceManager::ForEachAgent(
@@ -169,6 +172,9 @@ void ResourceManager::ForEachAgentParallel(const AgentFn& fn) const {
 
 std::pair<uint64_t, uint64_t> ResourceManager::Commit(
     const std::vector<ExecutionContext*>& contexts) {
+  // Arm the SoA store's incremental mirror: the removal paths below report
+  // their swaps so the store never has to re-gather the surviving agents.
+  soa_store_.BeginCommit();
   // Gather removal uids from all contexts.
   std::vector<AgentUid> removals;
   uint64_t num_added = 0;
@@ -243,6 +249,9 @@ std::pair<uint64_t, uint64_t> ResourceManager::Commit(
   for (ExecutionContext* ctx : contexts) {
     ctx->ClearBuffers();
   }
+  // Apply the post-commit layout to the SoA store (gathers only the
+  // appended agents; survivors were mirrored by the removal hooks).
+  soa_store_.FinishCommit(*this, pool_);
   if (MetricsRegistry::Enabled()) {
     // Commit runs on the main thread between parallel regions, so the
     // self-resolving Add lands in shard 0. `removals` holds only live
@@ -272,6 +281,8 @@ void ResourceManager::CommitRemovalsSerial(std::vector<AgentUid>& removals) {
     auto& domain = agents_[handle.numa_domain];
     Agent* doomed = domain[handle.index];
     Agent* last = domain.back();
+    soa_store_.OnRemoveOne(handle.numa_domain, handle.index,
+                           domain.size() - 1);
     domain[handle.index] = last;
     domain.pop_back();
     if (last != doomed) {
@@ -330,10 +341,12 @@ void ResourceManager::RemoveSwapSerial(int domain,
     if (idx != back) {
       Agent* moved = agents[back];
       agents[idx] = moved;
+      soa_store_.OnRemoveSwap(domain, idx, back);
       UpdateUidMapPosition(moved->GetUid(),
                            {static_cast<uint16_t>(domain), idx});
     }
   }
+  soa_store_.OnRemovals(domain, removed_idx.size());
   agents.resize(agents.size() - removed_idx.size());
 }
 
@@ -349,9 +362,12 @@ void ResourceManager::RemoveFromDomainsParallel(
   // serial swap loop is the same algorithm with one thread.
   if (total_removed < 512) {
     for (int d = 0; d < num_domains; ++d) {
-      RemoveSwapSerial(d, per_domain[d]);
+      RemoveSwapSerial(d, per_domain[d]);  // mirrors into the SoA store too
     }
     return;
+  }
+  for (int d = 0; d < num_domains; ++d) {
+    soa_store_.OnRemovals(d, per_domain[d].size());
   }
 
   // Fused across domains: one set of auxiliary arrays where the segment
@@ -485,6 +501,10 @@ void ResourceManager::RemoveFromDomainsParallel(
           const uint64_t src = compact_left[k];
           Agent* moved = agents[src];
           agents[dst] = moved;
+          // Safe concurrently: dst slots are distinct holes < new_size, src
+          // slots are distinct survivors >= new_size, so the store's slot
+          // writes never overlap its slot reads.
+          soa_store_.OnRemoveSwap(d, dst, src);
           UpdateUidMapPosition(moved->GetUid(),
                                {static_cast<uint16_t>(d), dst});
         }
@@ -500,6 +520,9 @@ void ResourceManager::ReplaceAgentVectors(
     std::vector<std::vector<Agent*>>&& new_vectors) {
   assert(new_vectors.size() == agents_.size());
   agents_ = std::move(new_vectors);
+  // Sorting rebuilt every vector (and relocated the agents themselves); the
+  // incremental mirror cannot track this, so force a full store rebuild.
+  soa_store_.MarkStructureDirty();
   // Agent sorting copies agents to new memory locations, so both the pointer
   // and the handle of every uid-map entry must be refreshed.
   for (uint16_t d = 0; d < agents_.size(); ++d) {

@@ -22,6 +22,7 @@
 #include "core/agent_uid.h"
 #include "core/execution_context.h"
 #include "core/param.h"
+#include "core/soa_store.h"
 #include "sched/numa_thread_pool.h"
 
 namespace bdm {
@@ -108,8 +109,15 @@ class ResourceManager {
     uid_map_[uid.index()].handle = handle;
   }
 
+  /// The persistent SoA mirror of the agent population (core/soa_store.h).
+  /// Mutable because consumers (environment update, mechanics, offload)
+  /// refresh it lazily from const iteration paths; the store only ever
+  /// re-derives state already owned by this ResourceManager.
+  SoaStore& GetSoaStore() const { return soa_store_; }
+
  private:
   friend class ConsistencyAudit;
+  friend class SoaStore;
 
   struct UidMapEntry {
     Agent* agent = nullptr;
@@ -149,6 +157,7 @@ class ResourceManager {
   std::shared_mutex uid_map_mutex_;
   std::atomic<uint32_t> round_robin_domain_{0};
   std::atomic<int64_t> num_custom_mechanics_{0};
+  mutable SoaStore soa_store_;
 };
 
 }  // namespace bdm

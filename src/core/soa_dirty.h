@@ -1,0 +1,31 @@
+// Process-wide "AoS geometry changed" flag for the SoA-primary store.
+//
+// Agent setters (SetPosition via FlagModified, SetDiameter) run on hot paths
+// and inside arbitrary user behaviors; they cannot reach the ResourceManager
+// without an include cycle or a Simulation::GetActive() call per mutation.
+// Instead they raise this flag, and SoaStore::EnsureCurrent consumes it to
+// decide between "arrays are current" and "refresh geometry from the
+// agents". One flag per process matches the one-active-Simulation contract
+// (core/simulation.h).
+//
+// The check-then-set shape keeps the common case (flag already raised by an
+// earlier mutation this iteration) a read of a shared cache line instead of
+// a write, so concurrent behaviors do not ping-pong the line.
+#ifndef BDM_CORE_SOA_DIRTY_H_
+#define BDM_CORE_SOA_DIRTY_H_
+
+#include <atomic>
+
+namespace bdm::soa {
+
+inline std::atomic<bool> g_aos_geometry_dirty{true};
+
+inline void MarkAosGeometryDirty() {
+  if (!g_aos_geometry_dirty.load(std::memory_order_relaxed)) {
+    g_aos_geometry_dirty.store(true, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace bdm::soa
+
+#endif  // BDM_CORE_SOA_DIRTY_H_

@@ -1,0 +1,186 @@
+// Persistent NUMA-domain-segmented SoA store of agent state (ISSUE 6).
+//
+// Before this store, three engine components each kept a private SoA copy of
+// agent geometry and rebuilt it from the AoS Agent objects every iteration:
+// the uniform grid's mirror, the pair engine's force scatter buffers, and
+// the offload op's per-call gather. The GPU port of BioDynaMo (Hesam et al.,
+// arXiv 2105.00039) makes the case that the gather->kernel->scatter shape
+// only pays off when the SoA arrays persist across iterations; TeraAgent
+// (arXiv 2509.24063) serializes exactly such flat per-attribute arrays. This
+// class is that single persistent store:
+//
+//  * Owned by the ResourceManager, one per simulation.
+//  * Layout is domain-major: domain d's agents occupy the contiguous dense
+//    index range [domain_offset(d), domain_offset(d+1)). The dense index <->
+//    AgentHandle map is therefore arithmetic: dense = offset(d) + h.index.
+//  * Updated *incrementally*: ResourceManager::Commit mirrors its swap-
+//    remove/append mutations into the store (BeginCommit / OnRemove* /
+//    FinishCommit), and geometry mutations outside the engine (behaviors
+//    calling SetPosition/SetDiameter) raise soa::g_aos_geometry_dirty, which
+//    EnsureCurrent consumes with a refresh pass. A full rebuild from the AoS
+//    objects only happens after structural changes the commit protocol does
+//    not cover (direct AddAgent, agent sorting) -- counted separately by the
+//    soa/full_rebuilds vs soa/incremental_updates metrics.
+//  * The fused mechanics op writes displaced positions back to both the
+//    store arrays and the AoS Agent in the same pass (the "write-back
+//    point"), so a quiescent population costs zero gather work per step.
+//
+// The per-thread force scatter shards live here too (moved out of
+// PairForceAccumulator) so the pair engine and the fused op share one set of
+// buffers instead of maintaining duplicates.
+#ifndef BDM_CORE_SOA_STORE_H_
+#define BDM_CORE_SOA_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "core/agent_handle.h"
+#include "math/real3.h"
+#include "memory/aligned_buffer.h"
+
+namespace bdm {
+
+class Agent;
+class ResourceManager;
+class NumaThreadPool;
+
+class SoaStore {
+ public:
+  /// One thread's force scatter target: partial force sums plus the
+  /// non-zero-force counts of Section 5 condition iv.
+  struct ForceShard {
+    AlignedBuffer<real_t> fx;
+    AlignedBuffer<real_t> fy;
+    AlignedBuffer<real_t> fz;
+    AlignedBuffer<uint32_t> non_zero;
+  };
+
+  /// The per-thread shard set shared by PairForceAccumulator and
+  /// MechanicsFusedOp. Buffers keep 1.5x headroom so a growing population
+  /// does not reallocate every iteration; contents are NOT zeroed here --
+  /// each worker zeroes (first-touches) its own shard inside the parallel
+  /// region, which also places the pages on the worker's NUMA node.
+  class ForceShards {
+   public:
+    void Ensure(int num_threads, uint64_t count);
+    ForceShard& shard(int t) { return shards_[t]; }
+    const ForceShard& shard(int t) const { return shards_[t]; }
+    int num_shards() const { return static_cast<int>(shards_.size()); }
+    uint64_t Bytes() const;
+
+   private:
+    std::vector<ForceShard> shards_;
+  };
+
+  // --- liveness & layout -----------------------------------------------------
+  /// Whether the arrays mirror the ResourceManager (after EnsureCurrent and
+  /// until the next uncovered structural change).
+  bool IsLive() const { return live_; }
+  bool IsStructureDirty() const {
+    return structure_dirty_.load(std::memory_order_relaxed);
+  }
+  uint64_t TotalAgents() const {
+    return domain_offset_.empty() ? 0 : domain_offset_.back();
+  }
+  int NumDomains() const {
+    return static_cast<int>(domain_offset_.size()) - 1;
+  }
+  uint64_t DomainOffset(int domain) const { return domain_offset_[domain]; }
+  uint64_t DenseIndex(const AgentHandle& h) const {
+    return domain_offset_[h.numa_domain] + h.index;
+  }
+  AgentHandle HandleFromDense(uint64_t dense) const;
+
+  // --- array views -----------------------------------------------------------
+  Agent* const* agents() const { return agents_.data(); }
+  const real_t* pos_x() const { return pos_x_.data(); }
+  const real_t* pos_y() const { return pos_y_.data(); }
+  const real_t* pos_z() const { return pos_z_.data(); }
+  const real_t* diameter() const { return diameter_.data(); }
+  const uint8_t* is_static() const { return is_static_.data(); }
+
+  /// Engine write-back of a displaced position (MechanicsFusedOp): keeps the
+  /// store current without raising the AoS-dirty flag.
+  void WriteBackPosition(uint64_t dense, const Real3& p) {
+    pos_x_[dense] = p.x;
+    pos_y_[dense] = p.y;
+    pos_z_[dense] = p.z;
+  }
+  /// Staticness sync (StaticnessOp pass 2, after UpdateStaticness).
+  void SetStatic(uint64_t dense, bool value) {
+    is_static_[dense] = value ? 1 : 0;
+  }
+
+  ForceShards& force_shards() { return force_shards_; }
+
+  // --- update protocol -------------------------------------------------------
+  /// Brings the arrays up to date with `rm`. Full parallel rebuild when the
+  /// structure changed outside the commit protocol; geometry-only refresh
+  /// when only soa::g_aos_geometry_dirty is raised; no-op otherwise.
+  void EnsureCurrent(const ResourceManager& rm, NumaThreadPool* pool);
+
+  /// Structural change the commit protocol does not mirror (direct AddAgent,
+  /// ReplaceAgentVectors): the next EnsureCurrent performs a full rebuild.
+  /// Thread-safe (concurrent AddAgent callers), hence the atomic flag.
+  void MarkStructureDirty() {
+    structure_dirty_.store(true, std::memory_order_relaxed);
+  }
+
+  // Commit protocol (called by ResourceManager::Commit only).
+  /// Snapshots the pre-commit layout and arms the mirror hooks.
+  void BeginCommit();
+  /// Serial removal: slot `src` (the domain's last live slot) replaces slot
+  /// `dst`; counts one removal. No-op for dst == src beyond the count.
+  void OnRemoveOne(int domain, uint64_t dst, uint64_t src);
+  /// Swap step of the batched removal paths: slot `src` replaces slot `dst`.
+  /// Thread-safe for disjoint dst/src sets (the parallel compaction
+  /// guarantees dst < new_size <= src).
+  void OnRemoveSwap(int domain, uint64_t dst, uint64_t src);
+  /// Batched removal count for `domain` (RemoveSwapSerial / parallel path).
+  void OnRemovals(int domain, uint64_t count);
+  /// Applies the post-commit layout: in place when no earlier domain changed
+  /// size, via a repack otherwise, and gathers appended agents from the tail
+  /// of each domain vector. Falls back to a full rebuild when the new total
+  /// exceeds the array capacity.
+  void FinishCommit(const ResourceManager& rm, NumaThreadPool* pool);
+
+  /// Bytes held by the store (attribute arrays + force shards). This is the
+  /// number behind the soa/mirror_bytes gauge -- the one SoA copy in the
+  /// engine.
+  uint64_t MemoryFootprintBytes() const;
+
+ private:
+  void FullRebuild(const ResourceManager& rm, NumaThreadPool* pool);
+  void RefreshGeometry(NumaThreadPool* pool);
+  void Reallocate(uint64_t min_capacity);
+  void FillFromDomain(const ResourceManager& rm, int domain, uint64_t begin,
+                      uint64_t end, uint64_t dense_begin, NumaThreadPool* pool);
+  void UpdateFootprintGauge();
+
+  // Attribute arrays, domain-major, sized `capacity_` with the live prefix
+  // described by domain_offset_.
+  AlignedBuffer<Agent*> agents_;
+  AlignedBuffer<real_t> pos_x_;
+  AlignedBuffer<real_t> pos_y_;
+  AlignedBuffer<real_t> pos_z_;
+  AlignedBuffer<real_t> diameter_;
+  AlignedBuffer<uint8_t> is_static_;
+  uint64_t capacity_ = 0;
+
+  /// domain_offset_[d] .. domain_offset_[d+1] is domain d's dense range.
+  std::vector<uint64_t> domain_offset_;
+
+  ForceShards force_shards_;
+
+  bool live_ = false;
+  std::atomic<bool> structure_dirty_{true};
+
+  // Commit-window state (BeginCommit .. FinishCommit).
+  bool mirroring_commit_ = false;
+  std::vector<uint64_t> commit_removed_;  // removals per domain this commit
+};
+
+}  // namespace bdm
+
+#endif  // BDM_CORE_SOA_STORE_H_

@@ -49,49 +49,87 @@ struct alignas(64) BoundsPartial {
 void UniformGridEnvironment::Update(const ResourceManager& rm,
                                     NumaThreadPool* pool) {
   const uint64_t total = rm.GetNumAgents();
-  flat_agents_.resize(total);
   successors_.resize(total);
-  pos_x_.resize(total);
-  pos_y_.resize(total);
-  pos_z_.resize(total);
-  diameters_.resize(total);
+  const bool store_mode = param_->soa_primary;
+  if (store_mode) {
+    // SoA-primary: refresh the persistent store (incremental -- a quiescent
+    // population costs nothing here) and point the search views at it. The
+    // grid keeps no copy of its own.
+    SoaStore& store = rm.GetSoaStore();
+    store.EnsureCurrent(rm, pool);
+    flat_agents_ = store.agents();
+    pos_x_ = store.pos_x();
+    pos_y_ = store.pos_y();
+    pos_z_ = store.pos_z();
+    diameters_ = store.diameter();
+  } else {
+    own_agents_.resize(total);
+    own_pos_x_.resize(total);
+    own_pos_y_.resize(total);
+    own_pos_z_.resize(total);
+    own_diameters_.resize(total);
+    flat_agents_ = own_agents_.data();
+    pos_x_ = own_pos_x_.data();
+    pos_y_ = own_pos_y_.data();
+    pos_z_ = own_pos_z_.data();
+    diameters_ = own_diameters_.data();
+  }
+  dense_count_ = total;
   if (total == 0) {
     nx_ = ny_ = nz_ = 0;
     return;
   }
 
-  // Flatten the per-domain vectors -- agent pointers plus the SoA mirror of
-  // position and diameter -- and reduce bounding box plus largest diameter
-  // in one parallel pass. Domain-major order keeps the mirror NUMA-ordered
-  // like flat_agents_.
-  std::vector<uint64_t> domain_offset(rm.GetNumDomains() + 1, 0);
-  for (int d = 0; d < rm.GetNumDomains(); ++d) {
-    domain_offset[d + 1] = domain_offset[d] + rm.GetNumAgents(d);
-  }
   std::vector<BoundsPartial> partials(pool->NumThreads() + 1);
-  for (int d = 0; d < rm.GetNumDomains(); ++d) {
-    const auto& agents = rm.GetAgentVector(d);
-    const uint64_t offset = domain_offset[d];
-    pool->ParallelFor(
-        0, static_cast<int64_t>(agents.size()), 4096,
-        [&](int64_t lo, int64_t hi, int tid) {
-          BoundsPartial& p = partials[tid + 1];
-          for (int64_t i = lo; i < hi; ++i) {
-            Agent* agent = agents[i];
-            flat_agents_[offset + i] = agent;
-            const Real3& pos = agent->GetPosition();
-            const real_t diameter = agent->GetDiameter();
-            pos_x_[offset + i] = pos.x;
-            pos_y_[offset + i] = pos.y;
-            pos_z_[offset + i] = pos.z;
-            diameters_[offset + i] = diameter;
-            for (int c = 0; c < 3; ++c) {
-              p.lower[c] = std::min(p.lower[c], pos[c]);
-              p.upper[c] = std::max(p.upper[c], pos[c]);
+  if (store_mode) {
+    // The store already holds the geometry; only the bounding box and the
+    // largest diameter must be reduced, over contiguous arrays.
+    const auto slabs = pool->MakeSlabPartition(0, static_cast<int64_t>(total));
+    pool->RunSlabs(slabs, [&](int64_t lo, int64_t hi, int tid) {
+      BoundsPartial& p = partials[tid + 1];
+      for (int64_t i = lo; i < hi; ++i) {
+        p.lower.x = std::min(p.lower.x, pos_x_[i]);
+        p.lower.y = std::min(p.lower.y, pos_y_[i]);
+        p.lower.z = std::min(p.lower.z, pos_z_[i]);
+        p.upper.x = std::max(p.upper.x, pos_x_[i]);
+        p.upper.y = std::max(p.upper.y, pos_y_[i]);
+        p.upper.z = std::max(p.upper.z, pos_z_[i]);
+        p.largest_diameter = std::max(p.largest_diameter, diameters_[i]);
+      }
+    });
+  } else {
+    // Legacy mode: flatten the per-domain vectors -- agent pointers plus the
+    // SoA mirror of position and diameter -- and reduce bounding box plus
+    // largest diameter in one parallel pass. Domain-major order keeps the
+    // mirror NUMA-ordered like the flat agent array.
+    std::vector<uint64_t> domain_offset(rm.GetNumDomains() + 1, 0);
+    for (int d = 0; d < rm.GetNumDomains(); ++d) {
+      domain_offset[d + 1] = domain_offset[d] + rm.GetNumAgents(d);
+    }
+    for (int d = 0; d < rm.GetNumDomains(); ++d) {
+      const auto& agents = rm.GetAgentVector(d);
+      const uint64_t offset = domain_offset[d];
+      pool->ParallelFor(
+          0, static_cast<int64_t>(agents.size()), 4096,
+          [&](int64_t lo, int64_t hi, int tid) {
+            BoundsPartial& p = partials[tid + 1];
+            for (int64_t i = lo; i < hi; ++i) {
+              Agent* agent = agents[i];
+              own_agents_[offset + i] = agent;
+              const Real3& pos = agent->GetPosition();
+              const real_t diameter = agent->GetDiameter();
+              own_pos_x_[offset + i] = pos.x;
+              own_pos_y_[offset + i] = pos.y;
+              own_pos_z_[offset + i] = pos.z;
+              own_diameters_[offset + i] = diameter;
+              for (int c = 0; c < 3; ++c) {
+                p.lower[c] = std::min(p.lower[c], pos[c]);
+                p.upper[c] = std::max(p.upper[c], pos[c]);
+              }
+              p.largest_diameter = std::max(p.largest_diameter, diameter);
             }
-            p.largest_diameter = std::max(p.largest_diameter, diameter);
-          }
-        });
+          });
+    }
   }
   BoundsPartial result;
   for (const BoundsPartial& p : partials) {
@@ -305,8 +343,7 @@ void UniformGridEnvironment::ForEachNeighborData(const Agent& query,
 void UniformGridEnvironment::ForEachNeighborPair(real_t squared_radius,
                                                  NumaThreadPool* pool,
                                                  NeighborPairFn fn) const {
-  constexpr uint32_t kChainEnd = 0xFFFFFFFFu;
-  const int64_t total = static_cast<int64_t>(flat_agents_.size());
+  const int64_t total = static_cast<int64_t>(dense_count_);
   if (total == 0) {
     return;
   }
@@ -319,70 +356,29 @@ void UniformGridEnvironment::ForEachNeighborPair(real_t squared_radius,
   const auto slabs = pool->MakeSlabPartition(0, total);
   pool->RunSlabs(slabs, [&](int64_t lo, int64_t hi, int tid) {
     NeighborPair pair;
-    // Register-resident per-slab pair count, flushed once per slab (the
-    // per-pair cost of the instrumentation is one increment).
-    uint64_t pairs_visited = 0;
-    for (int64_t i = lo; i < hi; ++i) {
-      const Real3 pos{pos_x_[i], pos_y_[i], pos_z_[i]};
-      pair.a_index = static_cast<uint32_t>(i);
-      pair.a = flat_agents_[i];
-      pair.a_position = pos;
-      pair.a_diameter = diameters_[i];
-      const auto emit = [&](uint32_t j, real_t d2) {
-        pair.b_index = j;
-        pair.b = flat_agents_[j];
-        pair.b_position = {pos_x_[j], pos_y_[j], pos_z_[j]};
-        pair.b_diameter = diameters_[j];
-        pair.squared_distance = d2;
-        ++pairs_visited;
-        fn(pair, tid);
-      };
-      // Own box: later-inserted agents were already paired with i when they
-      // walked their own chains; the chain below i holds the earlier ones.
-      for (uint32_t j = successors_[i]; j != kChainEnd; j = successors_[j]) {
-        const real_t dx = pos_x_[j] - pos.x;
-        const real_t dy = pos_y_[j] - pos.y;
-        const real_t dz = pos_z_[j] - pos.z;
-        const real_t d2 = dx * dx + dy * dy + dz * dz;
-        if (d2 <= squared_radius) {
-          emit(j, d2);
-        }
-      }
-      // Forward half stencil.
-      const auto c = BoxCoordinates(pos);
-      if (c[0] >= 1 && c[0] + 1 < nx_ && c[1] >= 1 && c[1] + 1 < ny_ &&
-          c[2] >= 1 && c[2] + 1 < nz_) {
-        const int64_t base = FlatBoxIndex(c[0], c[1], c[2]);
-        for (int s = 0; s < 13; ++s) {
-          ScanBox(base + forward_stencil_[s], pos, squared_radius, nullptr,
-                  emit);
-        }
-      } else {
-        for (int64_t dz = -1; dz <= 1; ++dz) {
-          for (int64_t dy = -1; dy <= 1; ++dy) {
-            for (int64_t dx = -1; dx <= 1; ++dx) {
-              if (!(dz > 0 || (dz == 0 && (dy > 0 || (dy == 0 && dx > 0))))) {
-                continue;
-              }
-              const int64_t x = c[0] + dx, y = c[1] + dy, z = c[2] + dz;
-              if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 ||
-                  z >= nz_) {
-                continue;
-              }
-              ScanBox(FlatBoxIndex(x, y, z), pos, squared_radius, nullptr,
-                      emit);
-            }
-          }
-        }
-      }
-    }
-    if (MetricsRegistry::Enabled() && pairs_visited > 0) {
-      // Self-resolving overload: in the serial/nested RunSlabs fallback the
-      // reported tid is a *slab* index owned by another thread's shard; the
-      // executing thread's own slot is always race-free.
-      MetricsRegistry::Get().Add(Metrics().pair_visits, pairs_visited);
-    }
+    ForEachNeighborPairInSlab(
+        squared_radius, lo, hi, [&](uint32_t i, uint32_t j, real_t d2) {
+          pair.a_index = i;
+          pair.a = flat_agents_[i];
+          pair.a_position = {pos_x_[i], pos_y_[i], pos_z_[i]};
+          pair.a_diameter = diameters_[i];
+          pair.b_index = j;
+          pair.b = flat_agents_[j];
+          pair.b_position = {pos_x_[j], pos_y_[j], pos_z_[j]};
+          pair.b_diameter = diameters_[j];
+          pair.squared_distance = d2;
+          fn(pair, tid);
+        });
   });
+}
+
+void UniformGridEnvironment::CountPairVisits(uint64_t pairs_visited) const {
+  if (MetricsRegistry::Enabled() && pairs_visited > 0) {
+    // Self-resolving overload: in the serial/nested RunSlabs fallback the
+    // reported tid is a *slab* index owned by another thread's shard; the
+    // executing thread's own slot is always race-free.
+    MetricsRegistry::Get().Add(Metrics().pair_visits, pairs_visited);
+  }
 }
 
 // The grid's Update snapshots agent state (flat array, SoA mirror, box
@@ -395,12 +391,10 @@ void UniformGridEnvironment::AuditConsistency(
     violations->push_back("uniform_grid: " + what);
   };
   const uint64_t total = rm.GetNumAgents();
-  if (flat_agents_.size() != total || pos_x_.size() != total ||
-      pos_y_.size() != total || pos_z_.size() != total ||
-      diameters_.size() != total || successors_.size() != total) {
-    complain("flat/mirror array sizes disagree with the agent count " +
+  if (dense_count_ != total || successors_.size() != total) {
+    complain("dense index count disagrees with the agent count " +
              std::to_string(total));
-    return;  // every check below indexes these arrays
+    return;  // every check below indexes the dense arrays
   }
   if (total == 0) {
     return;
@@ -468,11 +462,14 @@ void UniformGridEnvironment::AuditConsistency(
 }
 
 size_t UniformGridEnvironment::MemoryFootprint() const {
+  // Grid-owned bytes only. In SoA-primary mode the attribute arrays belong
+  // to the shared SoaStore (reported by the soa/mirror_bytes gauge), so the
+  // legacy mirror vectors below stay at capacity zero.
   return boxes_.size() * sizeof(uint64_t) +
          successors_.capacity() * sizeof(uint32_t) +
-         flat_agents_.capacity() * sizeof(Agent*) +
-         (pos_x_.capacity() + pos_y_.capacity() + pos_z_.capacity() +
-          diameters_.capacity()) * sizeof(real_t);
+         own_agents_.capacity() * sizeof(Agent*) +
+         (own_pos_x_.capacity() + own_pos_y_.capacity() +
+          own_pos_z_.capacity() + own_diameters_.capacity()) * sizeof(real_t);
 }
 
 }  // namespace bdm

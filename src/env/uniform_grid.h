@@ -13,15 +13,19 @@
 //    compare-and-swap.
 //  * Searches visit the 3x3x3 cube of boxes around the query box (more rings
 //    when the query radius exceeds the box length).
-//  * Search-critical attributes (position, diameter) are mirrored into flat
-//    SoA arrays owned by the grid during Update, in the same NUMA-ordered
-//    flatten pass that fills `flat_agents_`. The candidate reject path of a
-//    search reads only these contiguous arrays -- it never dereferences an
-//    `Agent*` into a large polymorphic object (O1/O4 cache discipline; the
-//    GPU port of BioDynaMo relies on the identical layout). Accepted
-//    candidates of the plain ForEachNeighbor overloads are confirmed against
-//    the agent's current position (see uniform_grid.cc); the index-aware
-//    ForEachNeighborData path serves the snapshot geometry directly.
+//  * Search-critical attributes (position, diameter) are served from flat
+//    SoA arrays. In SoA-primary mode (Param::soa_primary) these are views
+//    into the ResourceManager's persistent SoaStore -- Update only refreshes
+//    the store incrementally (core/soa_store.h) instead of re-gathering from
+//    the Agent objects. In legacy mode the grid fills its own private mirror
+//    in a NUMA-ordered flatten pass (the pre-store behavior, kept as the A/B
+//    reference). Either way the candidate reject path of a search reads only
+//    contiguous arrays -- it never dereferences an `Agent*` into a large
+//    polymorphic object (O1/O4 cache discipline; the GPU port of BioDynaMo
+//    relies on the identical layout). Accepted candidates of the plain
+//    ForEachNeighbor overloads are confirmed against the agent's current
+//    position (see uniform_grid.cc); the index-aware ForEachNeighborData
+//    path serves the snapshot geometry directly.
 //  * The common reach == 1 case walks a precomputed 27-offset stencil from
 //    the query's flat box index (interior boxes only; boundary boxes take
 //    the general clamped triple loop).
@@ -55,8 +59,8 @@ class UniformGridEnvironment : public Environment {
   void ForEachNeighborData(const Agent& query, real_t squared_radius,
                            NeighborDataFn fn) const override;
 
-  Agent* const* DenseAgents() const override { return flat_agents_.data(); }
-  uint64_t DenseAgentCount() const override { return flat_agents_.size(); }
+  Agent* const* DenseAgents() const override { return flat_agents_; }
+  uint64_t DenseAgentCount() const override { return dense_count_; }
 
   /// Half-stencil pair traversal (DESIGN.md Section 5): each agent pairs
   /// with the later-inserted agents of its own box (successor chain) and
@@ -66,6 +70,69 @@ class UniformGridEnvironment : public Environment {
   /// generic base traversal.
   void ForEachNeighborPair(real_t squared_radius, NumaThreadPool* pool,
                            NeighborPairFn fn) const override;
+
+  /// One worker's share of the half-stencil pair traversal: walks dense
+  /// indices [lo, hi) and invokes `emit(i, j, d2)` for every interacting
+  /// pair whose chain/stencil owner i lies in the slab. Shared by
+  /// ForEachNeighborPair and the fused mechanics op, which partitions the
+  /// dense range itself so it can fuse shard zeroing and force scatter into
+  /// one dispatch. The d2 handed over is bitwise-identical to
+  /// (pos_i - pos_j).SquaredNorm() -- see physics/force_kernel.h.
+  template <typename Emit>
+  void ForEachNeighborPairInSlab(real_t squared_radius, int64_t lo, int64_t hi,
+                                 Emit&& emit) const {
+    constexpr uint32_t kChainEnd = 0xFFFFFFFFu;
+    uint64_t pairs_visited = 0;
+    const auto counted = [&](uint32_t i, uint32_t j, real_t d2) {
+      ++pairs_visited;
+      emit(i, j, d2);
+    };
+    for (int64_t i = lo; i < hi; ++i) {
+      const Real3 pos{pos_x_[i], pos_y_[i], pos_z_[i]};
+      // Own box: later-inserted agents were already paired with i when they
+      // walked their own chains; the chain below i holds the earlier ones.
+      for (uint32_t j = successors_[i]; j != kChainEnd; j = successors_[j]) {
+        const real_t dx = pos_x_[j] - pos.x;
+        const real_t dy = pos_y_[j] - pos.y;
+        const real_t dz = pos_z_[j] - pos.z;
+        const real_t d2 = dx * dx + dy * dy + dz * dz;
+        if (d2 <= squared_radius) {
+          counted(static_cast<uint32_t>(i), j, d2);
+        }
+      }
+      // Forward half stencil.
+      const auto c = BoxCoordinates(pos);
+      const auto scan = [&](int64_t flat) {
+        ScanBox(flat, pos, squared_radius, nullptr, [&](uint32_t j, real_t d2) {
+          counted(static_cast<uint32_t>(i), j, d2);
+        });
+      };
+      if (c[0] >= 1 && c[0] + 1 < nx_ && c[1] >= 1 && c[1] + 1 < ny_ &&
+          c[2] >= 1 && c[2] + 1 < nz_) {
+        const int64_t base = FlatBoxIndex(c[0], c[1], c[2]);
+        for (int s = 0; s < 13; ++s) {
+          scan(base + forward_stencil_[s]);
+        }
+      } else {
+        for (int64_t dz = -1; dz <= 1; ++dz) {
+          for (int64_t dy = -1; dy <= 1; ++dy) {
+            for (int64_t dx = -1; dx <= 1; ++dx) {
+              if (!(dz > 0 || (dz == 0 && (dy > 0 || (dy == 0 && dx > 0))))) {
+                continue;
+              }
+              const int64_t x = c[0] + dx, y = c[1] + dy, z = c[2] + dz;
+              if (x < 0 || x >= nx_ || y < 0 || y >= ny_ || z < 0 ||
+                  z >= nz_) {
+                continue;
+              }
+              scan(FlatBoxIndex(x, y, z));
+            }
+          }
+        }
+      }
+    }
+    CountPairVisits(pairs_visited);
+  }
 
   real_t GetInteractionRadius() const override { return box_length_; }
   Real3 GetLowerBound() const override { return lower_; }
@@ -129,6 +196,10 @@ class UniformGridEnvironment : public Environment {
 
   std::array<int64_t, 3> BoxCoordinates(const Real3& position) const;
 
+  /// Flushes a slab's register-resident pair count to the metrics registry
+  /// (out of line so this header does not pull in obs/metrics.h).
+  void CountPairVisits(uint64_t pairs_visited) const;
+
   /// Scans one box, invoking `emit(flat_agent_index, d2)` for every agent
   /// within the radius. The reject path touches only the SoA mirrors;
   /// `flat_agents_` is read (for the exclusion compare) only after the
@@ -157,7 +228,7 @@ class UniformGridEnvironment : public Environment {
   template <typename Emit>
   void SearchImpl(const Real3& position, real_t squared_radius,
                   const Agent* exclude, Emit&& emit) const {
-    if (flat_agents_.empty()) {
+    if (dense_count_ == 0) {
       return;
     }
     // One ring of boxes suffices for radii up to the box length (the common
@@ -214,13 +285,23 @@ class UniformGridEnvironment : public Environment {
 
   std::vector<std::atomic<uint64_t>> boxes_;
   std::vector<uint32_t> successors_;
-  std::vector<Agent*> flat_agents_;
-  // SoA mirror of the search-critical agent attributes, filled by Update in
-  // the same pass as flat_agents_ (so it shares the NUMA-ordered layout).
-  std::vector<real_t> pos_x_;
-  std::vector<real_t> pos_y_;
-  std::vector<real_t> pos_z_;
-  std::vector<real_t> diameters_;
+  // Views over the search-critical SoA attributes. SoA-primary mode points
+  // them into the ResourceManager's persistent SoaStore; legacy mode into
+  // the grid-owned mirror vectors below. All search templates read through
+  // these, so both modes share one code path.
+  Agent* const* flat_agents_ = nullptr;
+  const real_t* pos_x_ = nullptr;
+  const real_t* pos_y_ = nullptr;
+  const real_t* pos_z_ = nullptr;
+  const real_t* diameters_ = nullptr;
+  uint64_t dense_count_ = 0;
+  // Legacy private mirror (Param::soa_primary == false), filled by Update in
+  // one NUMA-ordered flatten pass.
+  std::vector<Agent*> own_agents_;
+  std::vector<real_t> own_pos_x_;
+  std::vector<real_t> own_pos_y_;
+  std::vector<real_t> own_pos_z_;
+  std::vector<real_t> own_diameters_;
   // Flat-index offsets of the 3x3x3 cube around an interior box.
   std::array<int64_t, 27> stencil_{};
   // The 13 offsets whose (dz, dy, dx) triple is lexicographically positive:

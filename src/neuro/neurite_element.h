@@ -31,6 +31,8 @@ class NeuriteElement : public Agent {
   void SetDiameter(real_t diameter) override {
     if (diameter > diameter_) {
       FlagModified(/*affects_neighbors=*/true);
+    } else if (diameter != diameter_) {
+      soa::MarkAosGeometryDirty();  // shrink: SoA diameter copy goes stale
     }
     diameter_ = diameter;
   }

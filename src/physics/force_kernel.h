@@ -1,0 +1,71 @@
+// Scalar core of the Cortex3D-style sphere-sphere force, shared between
+// InteractionForce::Calculate (the per-agent reference path) and the fused
+// mechanics kernel (physics/mechanics_fused_op.cc).
+//
+// The two callers must stay BITWISE identical: the fused path's acceptance
+// test is bitwise trajectory equality against the reference, so the force
+// must be one shared sequence of floating-point operations, not two
+// "equivalent" copies that a compiler may contract differently. The build
+// uses no -ffast-math and no -march FMA contraction, so an inlined copy of
+// this header evaluates identically in every TU.
+//
+// Expression grouping notes (do not "simplify"):
+//  * sum_radii must be computed as d1*0.5 + d2*0.5 by the caller (matching
+//    r1 + r2 in the original Calculate), NOT (d1+d2)*0.5.
+//  * unit = comp / d in Real3 is comp * (1/d) per component (math/real3.h
+//    divides by multiplying with the reciprocal) -- replicated here.
+//  * the attraction magnitude groups as ((attraction*scale) * delta) * fade;
+//    callers pass attraction*scale pre-multiplied (scale == 1 collapses to
+//    attraction exactly).
+#ifndef BDM_PHYSICS_FORCE_KERNEL_H_
+#define BDM_PHYSICS_FORCE_KERNEL_H_
+
+#include <cmath>
+
+#include "math/real3.h"
+
+namespace bdm::detail {
+
+/// Everything after the cutoff test: direction from the center offset and
+/// magnitude from the overlap. Written as selects over unconditionally
+/// computable terms (IEEE division by a zero `zone` yields an inf that the
+/// select discards; the delta < 0 branch implies zone > 0) so the hot loop
+/// stays branch-free and vectorizable.
+inline Real3 SphereForcePostCutoff(real_t dx, real_t dy, real_t dz, real_t d,
+                                   real_t delta, real_t sum_radii,
+                                   real_t repulsion, real_t attraction_scaled,
+                                   real_t attraction_range) {
+  const bool separated = d > kEpsilon;
+  const real_t inv_d = separated ? 1 / d : real_t{0};
+  // Coincident centers: push along a fixed axis; the magnitude dominates
+  // anyway and the situation resolves within one step.
+  const real_t ux = separated ? dx * inv_d : real_t{1};
+  const real_t uy = separated ? dy * inv_d : real_t{0};
+  const real_t uz = separated ? dz * inv_d : real_t{0};
+  const real_t zone = sum_radii * attraction_range;
+  const real_t fade = 1 + delta / zone;  // 1 at contact, 0 at cutoff
+  const real_t magnitude =
+      delta >= 0 ? repulsion * delta : attraction_scaled * delta * fade;
+  return {ux * magnitude, uy * magnitude, uz * magnitude};
+}
+
+/// Full kernel for callers that already have the squared distance (the pair
+/// traversal hands it over from its range test). Returns zero outside the
+/// attraction cutoff.
+inline Real3 SphereForceKernel(real_t dx, real_t dy, real_t dz, real_t d2,
+                               real_t sum_radii, real_t repulsion,
+                               real_t attraction_scaled,
+                               real_t attraction_range) {
+  const real_t outer = sum_radii * (1 + attraction_range);
+  if (d2 >= outer * outer) {
+    return {0, 0, 0};
+  }
+  const real_t d = std::sqrt(d2);
+  const real_t delta = sum_radii - d;  // overlap (>0) or gap (<0)
+  return SphereForcePostCutoff(dx, dy, dz, d, delta, sum_radii, repulsion,
+                               attraction_scaled, attraction_range);
+}
+
+}  // namespace bdm::detail
+
+#endif  // BDM_PHYSICS_FORCE_KERNEL_H_

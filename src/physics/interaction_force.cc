@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "core/agent.h"
+#include "physics/force_kernel.h"
 
 namespace bdm {
 
@@ -26,25 +27,13 @@ Real3 InteractionForce::Calculate(const Agent* lhs, const Real3& lhs_pos,
   }
   const real_t d = std::sqrt(d2);
   const real_t delta = sum_radii - d;  // overlap (>0) or gap (<0)
-  Real3 unit;
-  if (d > kEpsilon) {
-    unit = comp / d;
-  } else {
-    // Coincident centers: push along a fixed axis; the magnitude dominates
-    // anyway and the situation resolves within one step.
-    unit = {1, 0, 0};
-  }
-  real_t magnitude;
-  if (delta >= 0) {
-    magnitude = repulsion_ * delta;
-  } else {
-    // Adhesion zone: weak pull back towards contact, vanishing at the outer
-    // cutoff to keep the force continuous.
-    const real_t zone = sum_radii * attraction_range_;
-    const real_t fade = 1 + delta / zone;  // 1 at contact, 0 at cutoff
-    magnitude = attraction_ * AdhesionScale(lhs, rhs) * delta * fade;
-  }
-  return unit * magnitude;
+  // The AdhesionScale hook (a virtual call) only matters inside the
+  // adhesion zone; repulsive pairs keep the plain coefficient.
+  const real_t attraction_scaled =
+      delta >= 0 ? attraction_ : attraction_ * AdhesionScale(lhs, rhs);
+  return detail::SphereForcePostCutoff(comp.x, comp.y, comp.z, d, delta,
+                                       sum_radii, repulsion_,
+                                       attraction_scaled, attraction_range_);
 }
 
 }  // namespace bdm

@@ -1,0 +1,200 @@
+#include "physics/mechanics_fused_op.h"
+
+#include <algorithm>
+#include <cstring>
+#include <typeinfo>
+
+#include "core/agent.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/simulation.h"
+#include "core/soa_store.h"
+#include "core/timing.h"
+#include "env/uniform_grid.h"
+#include "obs/metrics.h"
+#include "physics/force_kernel.h"
+#include "physics/interaction_force.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm {
+
+namespace {
+
+struct FusedMetrics {
+  // Same names as the reference engines (MetricsRegistry dedupes by name):
+  // either engine feeds the same counters, so A/B runs compare directly.
+  int static_pair_skips =
+      MetricsRegistry::Get().RegisterCounter("forces.static_pair_skips");
+  int static_agent_skips =
+      MetricsRegistry::Get().RegisterCounter("forces.static_agent_skips");
+  /// Width of the widest traversal slab of the last fused pass: how much
+  /// contiguous dense-index work one worker owns (load-balance telemetry).
+  int slab_span = MetricsRegistry::Get().RegisterGauge("fused/slab_span");
+};
+
+const FusedMetrics& Metrics() {
+  static const FusedMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
+
+void MechanicsFusedOp::Run(Simulation* sim) {
+  auto* rm = sim->GetResourceManager();
+  auto* env = sim->GetEnvironment();
+  auto* grid = dynamic_cast<UniformGridEnvironment*>(env);
+  const Param& param = sim->GetParam();
+  const InteractionForce* force = sim->GetInteractionForce();
+  SoaStore& store = rm->GetSoaStore();
+  const real_t radius = env->GetInteractionRadius();
+  const real_t squared_radius = radius * radius;
+  // The fused kernel inlines the BASE sphere force, reads geometry from the
+  // store the grid was built over, and assumes the default displacement
+  // application -- any deviation routes the whole iteration through the
+  // reference engine (which handles custom mechanics itself).
+  const bool fast_path =
+      grid != nullptr && store.IsLive() &&
+      rm->GetNumCustomMechanicsAgents() == 0 &&
+      typeid(*force) == typeid(InteractionForce) &&
+      squared_radius <=
+          grid->GetBoxLength() * grid->GetBoxLength() * (1 + real_t{1e-6});
+  if (!fast_path) {
+    fallback_.Run(sim);
+    return;
+  }
+  const uint64_t total = grid->DenseAgentCount();
+  if (total == 0) {
+    return;
+  }
+  TraceSpan span("mechanics_fused",
+                 sim->GetScheduler()->GetSimulatedIterations());
+  NumaThreadPool* pool = sim->GetThreadPool();
+  SoaStore::ForceShards& shards = store.force_shards();
+  shards.Ensure(pool->NumThreads(), total);
+  const auto slabs = pool->MakeSlabPartition(0, static_cast<int64_t>(total));
+  if (MetricsRegistry::Enabled()) {
+    int64_t span_max = 0;
+    for (size_t t = 0; t + 1 < slabs.bounds.size(); ++t) {
+      span_max = std::max(span_max, slabs.bounds[t + 1] - slabs.bounds[t]);
+    }
+    MetricsRegistry::Get().SetGauge(Metrics().slab_span,
+                                    static_cast<double>(span_max));
+  }
+
+  const real_t* px = store.pos_x();
+  const real_t* py = store.pos_y();
+  const real_t* pz = store.pos_z();
+  const real_t* dia = store.diameter();
+  const uint8_t* is_static = store.is_static();
+  Agent* const* agents = store.agents();
+  const bool skip_static = param.detect_static_agents;
+  const real_t repulsion = force->repulsion();
+  const real_t attraction = force->attraction();
+  const real_t attraction_range = force->attraction_range();
+
+  // Stage A: fused zero + traverse + scatter. pool->Run (not RunSlabs)
+  // because EVERY worker must zero its shard -- a worker whose slab is
+  // empty still receives scatter writes from pairs owned by other slabs.
+  pool->Run([&](int tid) {
+    SoaStore::ForceShard& shard = shards.shard(tid);
+    std::memset(shard.fx.data(), 0, total * sizeof(real_t));
+    std::memset(shard.fy.data(), 0, total * sizeof(real_t));
+    std::memset(shard.fz.data(), 0, total * sizeof(real_t));
+    std::memset(shard.non_zero.data(), 0, total * sizeof(uint32_t));
+    const int64_t lo = slabs.bounds[tid];
+    const int64_t hi = slabs.bounds[tid + 1];
+    if (lo >= hi) {
+      return;
+    }
+    real_t* fx = shard.fx.data();
+    real_t* fy = shard.fy.data();
+    real_t* fz = shard.fz.data();
+    uint32_t* non_zero = shard.non_zero.data();
+    uint64_t pair_skips = 0;
+    grid->ForEachNeighborPairInSlab(
+        squared_radius, lo, hi, [&](uint32_t i, uint32_t j, real_t d2) {
+          if (skip_static && is_static[i] != 0 && is_static[j] != 0) {
+            ++pair_skips;  // both endpoints provably static (O6)
+            return;
+          }
+          // i-j order matches the reference's pair.a - pair.b; the kernel
+          // header documents every grouping the bitwise contract relies on.
+          const real_t dx = px[i] - px[j];
+          const real_t dy = py[i] - py[j];
+          const real_t dz = pz[i] - pz[j];
+          const real_t sum_radii =
+              dia[i] * real_t{0.5} + dia[j] * real_t{0.5};
+          const Real3 f =
+              detail::SphereForceKernel(dx, dy, dz, d2, sum_radii, repulsion,
+                                        attraction, attraction_range);
+          if (f.SquaredNorm() == 0) {
+            return;
+          }
+          fx[i] += f.x;
+          fy[i] += f.y;
+          fz[i] += f.z;
+          ++non_zero[i];
+          fx[j] -= f.x;
+          fy[j] -= f.y;
+          fz[j] -= f.z;
+          ++non_zero[j];
+        });
+    if (pair_skips != 0 && MetricsRegistry::Enabled()) {
+      MetricsRegistry::Get().Add(Metrics().static_pair_skips, pair_skips);
+    }
+  });
+
+  // Stage B: fold shards, then the reference engine's callback ladder
+  // (static skip -> wake -> threshold -> clamp), ending in the write-back
+  // to both the AoS Agent and the store arrays.
+  const int num_shards = shards.num_shards();
+  const real_t dt_over_viscosity = param.dt / param.viscosity;
+  pool->RunSlabs(slabs, [&](int64_t lo, int64_t hi, int) {
+    uint64_t agent_skips = 0;
+    for (int64_t i = lo; i < hi; ++i) {
+      Real3 sum{};
+      uint32_t non_zero = 0;
+      for (int t = 0; t < num_shards; ++t) {
+        const SoaStore::ForceShard& shard = shards.shard(t);
+        sum.x += shard.fx[i];
+        sum.y += shard.fy[i];
+        sum.z += shard.fz[i];
+        non_zero += shard.non_zero[i];
+      }
+      if (non_zero == 0) {
+        continue;  // untouched agent: no force, no wake condition
+      }
+      Agent* agent = agents[i];
+      if (skip_static && is_static[i] != 0) {
+        // Same skip as the reference: a static agent is neither woken nor
+        // displaced. (Its pairs with awake partners were still computed
+        // above -- the awake side needs the force.)
+        ++agent_skips;
+        continue;
+      }
+      if (non_zero > 1) {
+        agent->WakeUp();
+      }
+      if (sum.SquaredNorm() < param.force_threshold_squared) {
+        continue;
+      }
+      Real3 displacement = sum * dt_over_viscosity;
+      const real_t norm = displacement.Norm();
+      if (norm > param.max_displacement) {
+        displacement *= param.max_displacement / norm;
+      }
+      if (displacement.SquaredNorm() > 0) {
+        const Real3 p = agent->GetPosition() + displacement;
+        agent->CommitEnginePosition(p);
+        store.WriteBackPosition(static_cast<uint64_t>(i), p);
+      }
+    }
+    if (agent_skips != 0 && MetricsRegistry::Enabled()) {
+      // Self-resolving Add: tid is a slab index, not necessarily the
+      // executing thread.
+      MetricsRegistry::Get().Add(Metrics().static_agent_skips, agent_skips);
+    }
+  });
+}
+
+}  // namespace bdm

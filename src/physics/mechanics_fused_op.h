@@ -1,0 +1,54 @@
+// Fused SoA mechanics engine (ISSUE 6 tentpole).
+//
+// Replaces MechanicalForcesPairOp in the pipeline when param.soa_primary is
+// on: the same half-stencil pair traversal and slab-partitioned reduction,
+// but run directly over the ResourceManager's persistent SoaStore arrays in
+// two fused dispatches instead of four:
+//
+//   Stage A (one pool->Run): each worker zeroes its own force shard and then
+//     traverses its slab of the dense index space, evaluating the branch-free
+//     sphere force kernel (physics/force_kernel.h) straight off the store's
+//     position/diameter arrays and scattering +F/-F into its shard. Fusing
+//     the zeroing into the traversal dispatch removes one barrier and keeps
+//     the shard pages hot in the worker's cache when the scatter begins.
+//   Stage B (one RunSlabs): fold the per-thread shards, apply the staticness
+//     skip / wake / threshold / clamp ladder of the reference engine, and
+//     write the displaced position to BOTH the AoS Agent (CommitEnginePosition)
+//     and the store arrays (WriteBackPosition) -- the write-back point that
+//     keeps the store current without a next-iteration refresh pass.
+//
+// Bitwise contract: with a single worker thread, trajectories are bitwise
+// identical to MechanicalForcesPairOp's (same kernel header, same shard fold
+// order, same callback ladder). With multiple workers the CAS insert order
+// of the grid build makes pair order -- and thus flush summation order --
+// timing-dependent in BOTH engines, so equality is only up to FP
+// associativity there.
+//
+// Falls back to the wrapped MechanicalForcesPairOp (which itself can fall
+// back to the per-agent path) whenever a fast-path precondition fails: the
+// environment is not the uniform grid, the store is not live, an agent
+// carries custom mechanics, or the interaction force is subclassed (the
+// fused kernel inlines the base force; an AdhesionScale override needs the
+// virtual Calculate).
+#ifndef BDM_PHYSICS_MECHANICS_FUSED_OP_H_
+#define BDM_PHYSICS_MECHANICS_FUSED_OP_H_
+
+#include "core/default_ops.h"
+#include "core/operation.h"
+
+namespace bdm {
+
+class MechanicsFusedOp : public StandaloneOperation {
+ public:
+  /// Shares the reference engines' op name so pipeline surgery such as
+  /// RemoveOp("mechanical_forces") works against any mechanics engine.
+  MechanicsFusedOp() : StandaloneOperation("mechanical_forces", 1) {}
+  void Run(Simulation* sim) override;
+
+ private:
+  MechanicalForcesPairOp fallback_;
+};
+
+}  // namespace bdm
+
+#endif  // BDM_PHYSICS_MECHANICS_FUSED_OP_H_

@@ -27,37 +27,26 @@ const PairMetrics& Metrics() {
 void PairForceAccumulator::Accumulate(const Environment& env,
                                       const InteractionForce& force,
                                       real_t squared_radius, bool skip_static,
-                                      NumaThreadPool* pool) {
+                                      NumaThreadPool* pool,
+                                      SoaStore::ForceShards* shared_shards) {
   const uint64_t total = env.DenseAgentCount();
   size_ = total;
-  const size_t num_threads = static_cast<size_t>(pool->NumThreads());
-  if (buffers_.size() != num_threads) {
-    buffers_ = std::vector<ThreadBuffer>(num_threads);
-    capacity_ = 0;
-  }
-  if (total > capacity_) {
-    // 1.5x headroom amortizes growth under proliferation workloads. The
-    // pages stay untouched until the owning worker zeroes them below.
-    capacity_ = total + total / 2;
-    for (ThreadBuffer& buffer : buffers_) {
-      buffer.fx.Reset(capacity_);
-      buffer.fy.Reset(capacity_);
-      buffer.fz.Reset(capacity_);
-      buffer.non_zero.Reset(capacity_);
-    }
-  }
+  active_ = shared_shards != nullptr ? shared_shards : &owned_;
+  // Reserve-without-touching: the zeroing pass below (run by the owning
+  // worker) first-touches fresh pages on the owner's NUMA domain.
+  active_->Ensure(pool->NumThreads(), total);
   if (total == 0) {
     return;
   }
-  // Each worker clears only its own buffer; no barrier against the
+  // Each worker clears only its own shard; no barrier against the
   // traversal is needed because a worker never writes another worker's
-  // buffer. (All-zero bit patterns are valid real_t zeros.)
+  // shard. (All-zero bit patterns are valid real_t zeros.)
   pool->Run([&](int tid) {
-    ThreadBuffer& buffer = buffers_[tid];
-    std::memset(buffer.fx.data(), 0, total * sizeof(real_t));
-    std::memset(buffer.fy.data(), 0, total * sizeof(real_t));
-    std::memset(buffer.fz.data(), 0, total * sizeof(real_t));
-    std::memset(buffer.non_zero.data(), 0, total * sizeof(uint32_t));
+    SoaStore::ForceShard& shard = active_->shard(tid);
+    std::memset(shard.fx.data(), 0, total * sizeof(real_t));
+    std::memset(shard.fy.data(), 0, total * sizeof(real_t));
+    std::memset(shard.fz.data(), 0, total * sizeof(real_t));
+    std::memset(shard.non_zero.data(), 0, total * sizeof(uint32_t));
   });
   env.ForEachNeighborPair(
       squared_radius, pool,
@@ -77,32 +66,35 @@ void PairForceAccumulator::Accumulate(const Environment& env,
         if (f.SquaredNorm() == 0) {
           return;
         }
-        ThreadBuffer& buffer = buffers_[tid];
-        buffer.fx[pair.a_index] += f.x;
-        buffer.fy[pair.a_index] += f.y;
-        buffer.fz[pair.a_index] += f.z;
-        ++buffer.non_zero[pair.a_index];
-        buffer.fx[pair.b_index] -= f.x;
-        buffer.fy[pair.b_index] -= f.y;
-        buffer.fz[pair.b_index] -= f.z;
-        ++buffer.non_zero[pair.b_index];
+        SoaStore::ForceShard& shard = active_->shard(tid);
+        shard.fx[pair.a_index] += f.x;
+        shard.fy[pair.a_index] += f.y;
+        shard.fz[pair.a_index] += f.z;
+        ++shard.non_zero[pair.a_index];
+        shard.fx[pair.b_index] -= f.x;
+        shard.fy[pair.b_index] -= f.y;
+        shard.fz[pair.b_index] -= f.z;
+        ++shard.non_zero[pair.b_index];
       });
 }
 
 void PairForceAccumulator::Flush(NumaThreadPool* pool, FlushFn fn) const {
-  if (size_ == 0) {
+  if (size_ == 0 || active_ == nullptr) {
     return;
   }
+  const SoaStore::ForceShards& shards = *active_;
+  const int num_shards = shards.num_shards();
   const auto slabs = pool->MakeSlabPartition(0, static_cast<int64_t>(size_));
   pool->RunSlabs(slabs, [&](int64_t lo, int64_t hi, int tid) {
     for (int64_t i = lo; i < hi; ++i) {
       Real3 sum{};
       uint32_t non_zero = 0;
-      for (const ThreadBuffer& buffer : buffers_) {
-        sum.x += buffer.fx[i];
-        sum.y += buffer.fy[i];
-        sum.z += buffer.fz[i];
-        non_zero += buffer.non_zero[i];
+      for (int t = 0; t < num_shards; ++t) {
+        const SoaStore::ForceShard& shard = shards.shard(t);
+        sum.x += shard.fx[i];
+        sum.y += shard.fy[i];
+        sum.z += shard.fz[i];
+        non_zero += shard.non_zero[i];
       }
       if (non_zero == 0) {
         continue;  // untouched agent: no force, no wake condition

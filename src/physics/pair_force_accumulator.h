@@ -11,15 +11,20 @@
 // total force and one non-zero-force count per agent. The count rebuilds
 // the `non_zero_forces > 1` wake condition of static-agent detection
 // (Section 5 condition iv) per endpoint.
+//
+// The buffers themselves are SoaStore::ForceShards. When the caller passes
+// the ResourceManager's store shards (param.soa_primary), this class scatters
+// straight into them and keeps no copy of its own -- the pair engine and the
+// fused mechanics op then share one set of force buffers. Without a shared
+// set (A/B reference path, standalone benches) it falls back to an owned set.
 #ifndef BDM_PHYSICS_PAIR_FORCE_ACCUMULATOR_H_
 #define BDM_PHYSICS_PAIR_FORCE_ACCUMULATOR_H_
 
 #include <cstdint>
-#include <vector>
 
 #include "core/function_ref.h"
+#include "core/soa_store.h"
 #include "math/real3.h"
-#include "memory/aligned_buffer.h"
 
 namespace bdm {
 
@@ -31,13 +36,15 @@ class PairForceAccumulator {
  public:
   /// Walks every interacting pair once (Environment::ForEachNeighborPair)
   /// and accumulates the pair force into both endpoints' slots of the
-  /// executing worker's buffer. With `skip_static`, pairs whose endpoints
+  /// executing worker's shard. With `skip_static`, pairs whose endpoints
   /// are BOTH static are skipped -- their force is provably unchanged and
   /// neither endpoint will be displaced (Section 5); a pair with one awake
   /// endpoint is still computed because the awake side needs the force.
+  /// `shared_shards`, when non-null, is scattered into instead of the owned
+  /// fallback set (one engine-wide buffer copy; see class comment).
   void Accumulate(const Environment& env, const InteractionForce& force,
-                  real_t squared_radius, bool skip_static,
-                  NumaThreadPool* pool);
+                  real_t squared_radius, bool skip_static, NumaThreadPool* pool,
+                  SoaStore::ForceShards* shared_shards = nullptr);
 
   /// Reduction callback: dense agent index, total force over all thread
   /// buffers, number of non-zero pair forces on this agent, worker id.
@@ -53,18 +60,10 @@ class PairForceAccumulator {
   uint64_t size() const { return size_; }
 
  private:
-  // One worker's scatter target. SoA + 64-byte alignment so the flush
-  // reduction streams each component array; AlignedBuffer reserves without
-  // touching, so the zeroing pass in Accumulate (run by the owning worker)
-  // first-touches the pages on the owner's NUMA domain.
-  struct ThreadBuffer {
-    AlignedBuffer<real_t> fx, fy, fz;
-    AlignedBuffer<uint32_t> non_zero;
-  };
-
   uint64_t size_ = 0;
-  uint64_t capacity_ = 0;
-  std::vector<ThreadBuffer> buffers_;
+  /// Scatter target of the last Accumulate: `shared_shards` or `&owned_`.
+  SoaStore::ForceShards* active_ = nullptr;
+  SoaStore::ForceShards owned_;
 };
 
 }  // namespace bdm
