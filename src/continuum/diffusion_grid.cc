@@ -62,7 +62,7 @@ void DiffusionGrid::Initialize(const Real3& lower, const Real3& upper,
     }
   }
   deposits_pending_.store(false, std::memory_order_relaxed);
-  EnsureSlabPartition(pool);
+  EnsureSlabPartition(pool != nullptr ? pool->NumThreads() : 1);
   // First touch: each worker zeroes the z-slab it will later flush and
   // step, so field pages are materialized on the domain that computes on
   // them. The serial path simply zeroes everything from the caller.
@@ -84,7 +84,7 @@ void DiffusionGrid::SetInitialValue(
   // Deposits logged before this call would otherwise survive the overwrite
   // and be (incorrectly) added on the next flush.
   FlushDeposits();
-  EnsureSlabPartition(pool);
+  EnsureSlabPartition(pool != nullptr ? pool->NumThreads() : 1);
   const int64_t n = resolution_;
   auto fill_slab = [&](int64_t z_lo, int64_t z_hi, int) {
     for (int64_t z = z_lo; z < z_hi; ++z) {
@@ -168,8 +168,9 @@ void DiffusionGrid::IncreaseConcentrationBy(const Real3& position,
     return;
   }
   // Per-thread combining log: no contention, no atomics on grid memory.
-  // Slot 0 is any non-pool thread (CurrentThreadId() == -1).
-  const int slot = NumaThreadPool::CurrentThreadId() + 1;
+  // Slot 0 is the main thread; DAG lane threads carry their own slots past
+  // the workers, so two concurrently-running ops never share a log.
+  const int slot = NumaThreadPool::CurrentThreadSlot();
   assert(slot >= 0 && slot < kMaxDepositSlots);
   DepositLog& log = deposit_logs_[slot];
   if (!log.dirty) {
@@ -260,17 +261,26 @@ Real3 DiffusionGrid::GetGradient(const Real3& position) const {
   return gradient;
 }
 
-void DiffusionGrid::EnsureSlabPartition(NumaThreadPool* pool) {
-  const int threads = pool != nullptr ? pool->NumThreads() : 1;
-  if (slab_threads_ == threads && !slab_bounds_.empty()) {
+void DiffusionGrid::EnsureSlabPartition(int participants) {
+  participants = std::max(participants, 1);
+  if (slab_threads_ == participants && !slab_bounds_.empty()) {
     return;
   }
-  if (pool != nullptr) {
-    slab_bounds_ = pool->MakeSlabPartition(0, resolution_).bounds;
-  } else {
-    slab_bounds_ = {0, resolution_};
+  // Even z-plane split with the remainder on the first participants -- the
+  // same arithmetic as NumaThreadPool::MakeSlabPartition, but sized to the
+  // participant count: the full pool during setup, the op's worker TEAM
+  // during a DAG-mode Step. Per-voxel stencil results do not depend on the
+  // partition, only the page first-touch placement does.
+  slab_bounds_.resize(participants + 1);
+  const int64_t base = resolution_ / participants;
+  const int64_t extra = resolution_ % participants;
+  int64_t offset = 0;
+  for (int t = 0; t < participants; ++t) {
+    slab_bounds_[t] = offset;
+    offset += base + (t < extra ? 1 : 0);
   }
-  slab_threads_ = threads;
+  slab_bounds_[participants] = offset;
+  slab_threads_ = participants;
 }
 
 void DiffusionGrid::OnStepBarrier() {
@@ -315,7 +325,17 @@ void DiffusionGrid::Step(real_t dt, NumaThreadPool* pool) {
                      : continuum::StepPlanesBranchy;
   const int64_t n = resolution_;
 
-  if (pool == nullptr || pool->NumThreads() == 1) {
+  // Team snapshot: under the op DAG this Step runs on a lane thread that
+  // owns only a slice of the pool while mechanics runs on the rest. The
+  // barrier MUST be sized to the team (a pool-wide barrier would wait for
+  // workers that belong to the co-running op), and the slab partition is
+  // recomputed per team size. A nested call from inside a pool worker
+  // cannot dispatch (the team is busy in the outer job), so it steps
+  // serially like the single-thread path.
+  const NumaThreadPool::Team team =
+      pool != nullptr ? pool->CurrentTeam() : NumaThreadPool::Team{0, 1};
+  if (pool == nullptr || pool->NumThreads() == 1 || team.size() <= 1 ||
+      NumaThreadPool::CurrentThreadId() >= 0) {
     FlushDeposits();
     for (int s = 0; s < substeps; ++s) {
       kernel(c1_.data(), c2_.data(), params, 0, n);
@@ -324,18 +344,20 @@ void DiffusionGrid::Step(real_t dt, NumaThreadPool* pool) {
     return;
   }
 
-  // Parallel path: ONE pool dispatch for the whole Step. Each worker keeps
-  // its z-slab across the deposit flush and all substeps (NUMA placement
-  // matches the first touch done in Initialize); a barrier separates the
-  // substeps, and its completion hook swaps the buffers.
-  EnsureSlabPartition(pool);
+  // Parallel path: ONE pool dispatch for the whole Step. Each team worker
+  // keeps its z-slab across the deposit flush and all substeps (NUMA
+  // placement matches the first touch done in Initialize when the team is
+  // the full pool); a barrier separates the substeps, and its completion
+  // hook swaps the buffers.
+  EnsureSlabPartition(team.size());
   const int64_t plane = n * n;
   const bool flush = deposits_pending_.load(std::memory_order_relaxed);
   step_flush_done_ = !flush;
-  std::barrier sync(pool->NumThreads(), DiffusionStepBarrierAction{this});
-  pool->Run([&](int tid) {
-    const int64_t z_lo = slab_bounds_[tid];
-    const int64_t z_hi = slab_bounds_[tid + 1];
+  std::barrier sync(team.size(), DiffusionStepBarrierAction{this});
+  pool->RunOn(team, [&](int tid) {
+    const int rank = tid - team.begin;
+    const int64_t z_lo = slab_bounds_[rank];
+    const int64_t z_hi = slab_bounds_[rank + 1];
     if (flush) {
       // Parallel reduction of the per-thread logs: every worker scans all
       // logs but applies only the deposits landing in its own slab, so no

@@ -146,9 +146,10 @@ class DiffusionGrid {
   int64_t Flat(int64_t x, int64_t y, int64_t z) const {
     return x + resolution_ * (y + resolution_ * z);
   }
-  /// Recomputes the z-slab partition if `pool` (or its thread count)
-  /// changed since the last call.
-  void EnsureSlabPartition(NumaThreadPool* pool);
+  /// Recomputes the z-slab partition if the participant count changed since
+  /// the last call. Setup passes the full pool width; a DAG-mode Step
+  /// passes its worker team's size.
+  void EnsureSlabPartition(int participants);
   /// Applies every logged deposit whose flat index falls in [lo, hi).
   void ApplyDepositsInRange(int64_t lo, int64_t hi) const;
   /// Flush from a read accessor: only safe (and only done) when the calling

@@ -75,7 +75,11 @@ class ConsistencyAudit {
 class ConsistencyAuditOp : public StandaloneOperation {
  public:
   explicit ConsistencyAuditOp(int frequency)
-      : StandaloneOperation("consistency_audit", frequency) {}
+      : StandaloneOperation("consistency_audit", frequency) {
+    // Pure reader: verifies population/index/store agreement, writes
+    // nothing (the violation counter goes through the metrics shards).
+    DeclareResources(kResAgentsGeometry | kResGrid | kResPopulation, 0);
+  }
   void Run(Simulation* sim) override;
 };
 

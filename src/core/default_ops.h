@@ -15,7 +15,12 @@ namespace bdm {
 /// Rebuilds the environment index (paper Algorithm 1, pre-standalone).
 class UpdateEnvironmentOp : public StandaloneOperation {
  public:
-  UpdateEnvironmentOp() : StandaloneOperation("environment_update", 1) {}
+  UpdateEnvironmentOp() : StandaloneOperation("environment_update", 1) {
+    // Reads geometry/population to rebuild the index; with the SoA-primary
+    // store it also refreshes the store arrays (a geometry write).
+    DeclareResources(kResAgentsGeometry | kResPopulation,
+                     kResGrid | kResAgentsGeometry);
+  }
   void Run(Simulation* sim) override;
 };
 
@@ -24,14 +29,21 @@ class UpdateEnvironmentOp : public StandaloneOperation {
 /// param.detect_static_agents is set.
 class StaticnessOp : public StandaloneOperation {
  public:
-  StaticnessOp() : StandaloneOperation("staticness", 1) {}
+  StaticnessOp() : StandaloneOperation("staticness", 1) {
+    DeclareResources(kResGrid | kResAgentsGeometry, kResAgentsGeometry);
+  }
   void Run(Simulation* sim) override;
 };
 
 /// Executes every behavior of the agent.
 class BehaviorOp : public AgentOperation {
  public:
-  BehaviorOp() : AgentOperation("behaviors", 1) {}
+  BehaviorOp() : AgentOperation("behaviors", 1) {
+    // Behaviors may move/resize agents, create/remove agents (population
+    // buffers), and secrete into or sample the diffusion grids.
+    DeclareResources(kResGrid | kResAgentsGeometry | kResDiffusion,
+                     kResAgentsGeometry | kResPopulation | kResDiffusion);
+  }
   void Run(Agent* agent, AgentHandle handle, int tid, Simulation* sim) override;
 };
 
@@ -41,7 +53,10 @@ class BehaviorOp : public AgentOperation {
 /// each endpoint. Scheduled when param.pair_symmetric_forces is off.
 class MechanicalForcesOp : public AgentOperation {
  public:
-  MechanicalForcesOp() : AgentOperation("mechanical_forces", 1) {}
+  MechanicalForcesOp() : AgentOperation("mechanical_forces", 1) {
+    DeclareResources(kResGrid | kResAgentsGeometry,
+                     kResAgentsGeometry | kResForces);
+  }
   void Run(Agent* agent, AgentHandle handle, int tid, Simulation* sim) override;
 };
 
@@ -60,7 +75,10 @@ class MechanicalForcesOp : public AgentOperation {
 /// the environment exposes no dense agent index.
 class MechanicalForcesPairOp : public StandaloneOperation {
  public:
-  MechanicalForcesPairOp() : StandaloneOperation("mechanical_forces", 1) {}
+  MechanicalForcesPairOp() : StandaloneOperation("mechanical_forces", 1) {
+    DeclareResources(kResGrid | kResAgentsGeometry,
+                     kResAgentsGeometry | kResForces);
+  }
   void Run(Simulation* sim) override;
 
  private:
@@ -70,7 +88,11 @@ class MechanicalForcesPairOp : public StandaloneOperation {
 /// Advances all registered diffusion grids by param.dt.
 class DiffusionOp : public StandaloneOperation {
  public:
-  DiffusionOp() : StandaloneOperation("diffusion", 1) {}
+  DiffusionOp() : StandaloneOperation("diffusion", 1) {
+    // Touches only the continuum fields: this is the declaration that lets
+    // diffusion overlap the mechanics pipeline in the op DAG.
+    DeclareResources(kResDiffusion, kResDiffusion);
+  }
   void Run(Simulation* sim) override;
 };
 
@@ -78,7 +100,11 @@ class DiffusionOp : public StandaloneOperation {
 /// ResourceManager (paper Section 3.2; "setup and tear down" in Figure 5).
 class CommitOp : public StandaloneOperation {
  public:
-  CommitOp() : StandaloneOperation("commit", 1) {}
+  CommitOp() : StandaloneOperation("commit", 1) {
+    // Reads every context's add/remove buffers and rewrites the population:
+    // the DAG's sink barrier by construction (conflicts with everything).
+    DeclareResources(kResAll, kResAll);
+  }
   void Run(Simulation* sim) override;
 };
 

@@ -27,7 +27,11 @@ namespace bdm {
 class LoadBalanceOp : public StandaloneOperation {
  public:
   explicit LoadBalanceOp(int frequency)
-      : StandaloneOperation("load_balancing", frequency) {}
+      : StandaloneOperation("load_balancing", frequency) {
+    // Rewrites the whole population layout (agents move between slots and
+    // domains): conflicts with everything, like the commit.
+    DeclareResources(kResAll, kResAll);
+  }
   void Run(Simulation* sim) override;
 };
 

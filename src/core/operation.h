@@ -17,6 +17,29 @@ namespace bdm {
 class Agent;
 class Simulation;
 
+/// Named engine resources an operation reads or writes. The scheduler's op
+/// DAG derives its dependency edges from these footprints: two ops conflict
+/// (must keep their pipeline order) iff one writes a resource the other
+/// touches. The granularity is deliberately coarse -- five bits cover the
+/// engine's shared state, and a missing declaration degrades to "touches
+/// everything", never to a race.
+enum ResourceBits : uint8_t {
+  /// Agent geometry: positions, diameters, staticness flags -- both the AoS
+  /// Agent fields and the SoA store arrays mirroring them.
+  kResAgentsGeometry = 1 << 0,
+  /// The spatial index (uniform grid / kd-tree / octree) and its dense
+  /// agent index.
+  kResGrid = 1 << 1,
+  /// All diffusion grids: concentration fields and deposit logs.
+  kResDiffusion = 1 << 2,
+  /// Force accumulation shards (SoaStore::ForceShards).
+  kResForces = 1 << 3,
+  /// Population structure: the agent vectors, uid map, and the per-context
+  /// add/remove buffers feeding the commit.
+  kResPopulation = 1 << 4,
+  kResAll = 0x1F,
+};
+
 class OperationBase {
  public:
   OperationBase(std::string name, int frequency)
@@ -30,9 +53,21 @@ class OperationBase {
   /// True when the operation is due at the given iteration counter.
   bool IsDue(uint64_t iteration) const { return iteration % frequency_ == 0; }
 
+  /// Resource footprint (ResourceBits masks) for DAG edge derivation. The
+  /// default is read/write-ALL: an undeclared (user) operation conserves the
+  /// sequential pipeline order against every other op.
+  uint8_t Reads() const { return reads_; }
+  uint8_t Writes() const { return writes_; }
+  void DeclareResources(uint8_t reads, uint8_t writes) {
+    reads_ = reads;
+    writes_ = writes;
+  }
+
  private:
   std::string name_;
   int frequency_;
+  uint8_t reads_ = kResAll;
+  uint8_t writes_ = kResAll;
 };
 
 /// Executed for each agent (paper Algorithm 1, L7-11).

@@ -70,6 +70,13 @@ struct Param {
   /// every consumer keeps its own per-iteration gather; that path is the
   /// bitwise A/B reference for the fused one.
   bool soa_primary = true;
+  /// Operation DAG execution (core/op_dag.h): derive dependencies between
+  /// the scheduler's due operations from their declared resource footprints
+  /// and run independent ones concurrently on disjoint worker teams of the
+  /// shared pool (diffusion overlaps the mechanics pipeline). When false,
+  /// the sequential op loop runs -- the A/B reference for bench_dag. The
+  /// env var BDM_OP_DAG=0/1 overrides this without a code change.
+  bool op_dag = true;
 
   // --- memory manager ------------------------------------------------------
   NumaPoolAllocator::Config memory;  // mem_mgr_growth_rate & friends

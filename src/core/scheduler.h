@@ -4,22 +4,35 @@
 // agent loop (every due agent operation applied per agent), and the
 // post-standalone operations. Wall time per operation is recorded in the
 // simulation's TimingAggregator, which feeds the Figure 5 runtime breakdown.
+//
+// Two execution modes share the same pipeline definition:
+//  - sequential (Param::op_dag = false): ops run one after another on the
+//    calling thread, each spreading over the full pool. The A/B reference.
+//  - op DAG (default): the due ops' declared resource footprints
+//    (core/operation.h) are compiled into a dependency DAG (core/op_dag.h)
+//    cached per due-set; independent ops -- diffusion vs. the mechanics
+//    pipeline -- run concurrently on disjoint worker teams, sized by an
+//    exponential moving average of each op's measured cost. CommitOp
+//    declares read/write-all, making it the sink barrier by construction.
 #ifndef BDM_CORE_SCHEDULER_H_
 #define BDM_CORE_SCHEDULER_H_
 
 #include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/op_dag.h"
 #include "core/operation.h"
 #include "obs/metrics.h"
 
 namespace bdm {
 
 class Simulation;
+class TimingAggregator;
 
 class Scheduler {
  public:
@@ -38,20 +51,26 @@ class Scheduler {
   uint64_t GetSimulatedIterations() const { return iteration_; }
 
   // --- pipeline customization ------------------------------------------------
-  void AppendPreOp(std::unique_ptr<StandaloneOperation> op) {
-    pre_ops_.push_back(std::move(op));
-  }
-  void AppendAgentOp(std::unique_ptr<AgentOperation> op) {
-    agent_ops_.push_back(std::move(op));
-  }
-  void AppendPostOp(std::unique_ptr<StandaloneOperation> op) {
-    post_ops_.push_back(std::move(op));
-  }
+  // Every mutation of the op lists (and GetOp, which hands out a mutable
+  // operation whose frequency or resource footprint the caller may change)
+  // invalidates the cached DAG plans; they are rebuilt lazily on the next
+  // iteration.
+  void AppendPreOp(std::unique_ptr<StandaloneOperation> op);
+  void AppendAgentOp(std::unique_ptr<AgentOperation> op);
+  void AppendPostOp(std::unique_ptr<StandaloneOperation> op);
   /// Removes the first operation with the given name from any stage.
   /// Returns true when an operation was removed.
   bool RemoveOp(const std::string& name);
   /// Returns the first operation with the given name, or nullptr.
   OperationBase* GetOp(const std::string& name);
+
+  /// True when the next iteration will execute through the operation DAG
+  /// (Param::op_dag and the pool fits the shard-slot budget).
+  bool UsesOpDag() const;
+
+  /// The dependency DAG the CURRENT due-set compiles to (test/analysis
+  /// hook; builds and caches the plan without running anything).
+  const OpDag& GetIterationDag();
 
   // --- observability ---------------------------------------------------------
   /// Everything the engine knows about itself at the end of one iteration:
@@ -82,7 +101,26 @@ class Scheduler {
   bool DumpObservability(const std::string& path) const;
 
  private:
+  /// One compiled due-set: the DAG plus each node's op binding. Node i is
+  /// either standalone[i] or (when i == agent_node) the fused agent loop
+  /// over due_agent_ops.
+  struct DagPlan {
+    OpDag dag;
+    std::vector<StandaloneOperation*> standalone;  // null at agent_node
+    int agent_node = -1;
+    std::vector<AgentOperation*> due_agent_ops;
+  };
+
   void ExecuteIteration();
+  void RunIterationSequential(TimingAggregator* timing);
+  void RunIterationDag(TimingAggregator* timing);
+  /// The fused agent loop (Algorithm 1, L7-11) over the given due ops.
+  void RunAgentStage(const std::vector<AgentOperation*>& due);
+  /// Due-set bitmask over pre/agent/post ops in pipeline order; false when
+  /// the pipeline has more than 64 ops (caller falls back to sequential).
+  bool ComputeDueMask(uint64_t* mask) const;
+  DagPlan& GetOrBuildPlan(uint64_t mask);
+  void InvalidatePlans() { dag_plans_.clear(); }
 
   /// Applies `fn` to pre_ops_, agent_ops_, post_ops_ in pipeline order until
   /// `fn` returns true. The op lists have different element types, hence the
@@ -105,6 +143,13 @@ class Scheduler {
   std::vector<std::unique_ptr<StandaloneOperation>> post_ops_;
   SnapshotFn snapshot_fn_;
   int snapshot_interval_ = 1;
+
+  // --- op DAG state ----------------------------------------------------------
+  std::map<uint64_t, DagPlan> dag_plans_;  // keyed by due mask
+  std::unique_ptr<DagExecutor> dag_exec_;  // lazily created on first DAG step
+  /// Per-op wall-time EMA (seconds), keyed by op name; feeds the executor's
+  /// weight-proportional worker-team split.
+  std::map<std::string, double> op_cost_ema_;
 };
 
 }  // namespace bdm

@@ -65,6 +65,12 @@ Simulation::Simulation(std::string name, const Param& param)
       param_.collect_metrics = false;
     }
   }
+  // A/B hook: BDM_OP_DAG=0 forces the sequential op loop, =1 forces the
+  // operation DAG, without a code change (bench_dag and the tsan job use
+  // it to pin the mode).
+  if (const char* dag = std::getenv("BDM_OP_DAG")) {
+    param_.op_dag = dag[0] != '0';
+  }
   auto& registry = MetricsRegistry::Get();
   registry.ConfigureSlots(topology_.NumThreads() + 1);
   registry.SetEnabled(param_.collect_metrics);

@@ -1,5 +1,14 @@
 // Wall-clock timing aggregation for the operation runtime breakdown
 // (paper Figure 5 left).
+//
+// Concurrency model (mirrors obs/metrics.h): with the op DAG enabled,
+// several operations run at once, each on its own lane thread, and their
+// ScopedTimers fire concurrently. Add() therefore appends to a per-thread
+// shard (indexed by NumaThreadPool::CurrentThreadSlot()); only the main
+// thread (slot 0) updates the global map directly. Fold() drains the shards
+// into the map and runs strictly between parallel regions -- the scheduler
+// calls it at the iteration sink, and every accessor folds lazily so
+// ad-hoc reads between Simulate calls stay exact.
 #ifndef BDM_CORE_TIMING_H_
 #define BDM_CORE_TIMING_H_
 
@@ -7,8 +16,11 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/trace.h"
+#include "sched/numa_thread_pool.h"
 
 namespace bdm {
 
@@ -19,18 +31,50 @@ class TimingAggregator {
     uint64_t count = 0;
   };
 
+  /// Same slot capacity as MetricsRegistry (main + workers + DAG lanes).
+  static constexpr int kMaxSlots = 257;
+
   void Add(const std::string& name, double seconds) {
-    auto& entry = entries_[name];
-    entry.seconds += seconds;
-    ++entry.count;
+    const int slot = NumaThreadPool::CurrentThreadSlot();
+    if (slot == 0) {
+      auto& entry = entries_[name];
+      entry.seconds += seconds;
+      ++entry.count;
+      return;
+    }
+    // Worker or lane thread: appending to the owned shard is the only
+    // concurrency-safe move (the map may be mid-rebalance on another slot's
+    // name). Folded at the iteration sink.
+    shards_[slot].emplace_back(name, seconds);
+  }
+
+  /// Drains every shard into the global map. Call only while no worker or
+  /// lane thread is running timers (the scheduler's iteration sink, or any
+  /// point between Simulate calls); the accessors below fold lazily under
+  /// the same precondition.
+  void Fold() const {
+    for (int s = 1; s < kMaxSlots; ++s) {
+      auto& pending = shards_[s];
+      if (pending.empty()) {
+        continue;
+      }
+      for (const auto& [name, seconds] : pending) {
+        auto& entry = entries_[name];
+        entry.seconds += seconds;
+        ++entry.count;
+      }
+      pending.clear();
+    }
   }
 
   double TotalSeconds(const std::string& name) const {
+    Fold();
     auto it = entries_.find(name);
     return it == entries_.end() ? 0.0 : it->second.seconds;
   }
 
   uint64_t Count(const std::string& name) const {
+    Fold();
     auto it = entries_.find(name);
     return it == entries_.end() ? 0 : it->second.count;
   }
@@ -39,6 +83,7 @@ class TimingAggregator {
   /// parent bucket (e.g. "diffusion/substance_0" inside "diffusion") and
   /// are excluded to avoid double counting.
   double GrandTotalSeconds() const {
+    Fold();
     double total = 0;
     for (const auto& [name, entry] : entries_) {
       if (name.find('/') == std::string::npos) {
@@ -49,19 +94,32 @@ class TimingAggregator {
   }
 
   /// name -> (seconds, count), ordered by name.
-  const auto& raw() const { return entries_; }
+  const std::map<std::string, Entry>& raw() const {
+    Fold();
+    return entries_;
+  }
 
-  void Reset() { entries_.clear(); }
+  void Reset() {
+    entries_.clear();
+    for (int s = 0; s < kMaxSlots; ++s) {
+      shards_[s].clear();
+    }
+  }
 
  private:
-  std::map<std::string, Entry> entries_;
+  // mutable: Fold() is logically const (moves pending samples into the
+  // totals they already belong to) and must be callable from const readers.
+  mutable std::map<std::string, Entry> entries_;
+  mutable std::vector<std::pair<std::string, double>> shards_[kMaxSlots];
 };
 
 /// RAII timer adding its lifetime to an aggregator bucket. When a chrome
 /// trace is being recorded (BDM_TRACE, obs/trace.h), the same lifetime is
-/// additionally emitted as a trace span, so every existing timing site is a
-/// trace site for free. `iteration` tags the span for per-step filtering in
-/// Perfetto (sites outside the scheduler may leave it 0).
+/// additionally emitted as a trace span on the calling thread's slot track,
+/// so every existing timing site is a trace site for free -- and
+/// concurrently-running DAG ops land on distinct Perfetto tracks. `iteration`
+/// tags the span for per-step filtering (sites outside the scheduler may
+/// leave it 0).
 class ScopedTimer {
  public:
   ScopedTimer(TimingAggregator* aggregator, std::string name,
@@ -76,7 +134,8 @@ class ScopedTimer {
     aggregator_->Add(name_,
                      std::chrono::duration<double>(end - start_).count());
     if (TraceRecorder::Active()) {
-      TraceRecorder::Get().RecordSpan(name_, start_, end, /*tid_slot=*/0,
+      TraceRecorder::Get().RecordSpan(name_, start_, end,
+                                      NumaThreadPool::CurrentThreadSlot(),
                                       iteration_);
     }
   }
@@ -105,7 +164,8 @@ class TraceSpan {
     if (TraceRecorder::Active()) {
       TraceRecorder::Get().RecordSpan(name_, start_,
                                       std::chrono::steady_clock::now(),
-                                      /*tid_slot=*/0, iteration_);
+                                      NumaThreadPool::CurrentThreadSlot(),
+                                      iteration_);
     }
   }
 

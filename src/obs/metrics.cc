@@ -50,7 +50,10 @@ void MetricsRegistry::ConfigureSlots(int num_slots) {
 }
 
 void MetricsRegistry::Add(int id, uint64_t delta) {
-  Add(id, delta, NumaThreadPool::CurrentThreadId() + 1);
+  // CurrentThreadSlot (not worker id + 1): a DAG lane thread driving one of
+  // several concurrently-running ops resolves to its own slot past the
+  // workers, never to the main thread's shard 0.
+  Add(id, delta, NumaThreadPool::CurrentThreadSlot());
 }
 
 void MetricsRegistry::FlushShards() {

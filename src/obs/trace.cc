@@ -33,6 +33,11 @@ void TraceRecorder::RecordSpan(const std::string& name, Clock::time_point start,
   events_.push_back({name, us(start), us(end) - us(start), tid_slot, iteration});
 }
 
+void TraceRecorder::SetThreadName(int tid_slot, const std::string& name) {
+  std::scoped_lock lock(mutex_);
+  thread_names_[tid_slot] = name;
+}
+
 namespace {
 
 /// Escapes a string for inclusion inside JSON quotes. Engine span names are
@@ -81,10 +86,23 @@ uint64_t TraceRecorder::Stop(const std::string& path) {
   }
   out << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   // Process/thread metadata first: names the track headers in Perfetto.
+  // Every slot that carries spans gets a thread_name record, so a DAG-mode
+  // trace shows one labelled track per op lane and overlapping spans
+  // (diffusion/* vs mechanics_fused) are visibly side by side.
   out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0,"
       << " \"args\": {\"name\": \"" << JsonEscape(process_name_) << "\"}},\n";
-  out << "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0,"
-      << " \"args\": {\"name\": \"scheduler (main)\"}}";
+  std::map<int, std::string> tracks = thread_names_;
+  tracks.emplace(0, "scheduler (main)");
+  for (const Event& e : events_) {
+    tracks.emplace(e.tid_slot, "worker " + std::to_string(e.tid_slot - 1));
+  }
+  bool first_track = true;
+  for (const auto& [slot, track_name] : tracks) {
+    out << (first_track ? "" : ",\n") << "  {\"name\": \"thread_name\","
+        << " \"ph\": \"M\", \"pid\": 1, \"tid\": " << slot
+        << ", \"args\": {\"name\": \"" << JsonEscape(track_name) << "\"}}";
+    first_track = false;
+  }
   for (const Event& e : events_) {
     out << ",\n  {\"name\": \"" << JsonEscape(e.name) << "\", \"cat\": \"op\","
         << " \"ph\": \"X\", \"ts\": " << e.ts_us << ", \"dur\": " << e.dur_us

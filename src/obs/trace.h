@@ -18,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -39,10 +40,16 @@ class TraceRecorder {
   void Start(const std::string& process_name);
 
   /// Records one completed span. `tid_slot` follows the thread-slot
-  /// convention (0 = main thread, t+1 = pool worker t); `iteration` is
-  /// attached to the event args so spans can be filtered per step.
+  /// convention (0 = main thread, t+1 = pool worker t, DAG lane threads on
+  /// slots past the workers); `iteration` is attached to the event args so
+  /// spans can be filtered per step.
   void RecordSpan(const std::string& name, Clock::time_point start,
                   Clock::time_point end, int tid_slot, uint64_t iteration);
+
+  /// Registers a display name for a thread slot's track ("op lane 0", ...).
+  /// Unregistered slots that carry spans get a default name in Stop().
+  /// Names persist across Start/Stop cycles (lane threads outlive traces).
+  void SetThreadName(int tid_slot, const std::string& name);
 
   /// Stops collecting and writes the collected events to `path` as a
   /// chrome://tracing JSON document. Returns the number of span events
@@ -67,6 +74,7 @@ class TraceRecorder {
   std::string process_name_;
   Clock::time_point origin_;
   std::vector<Event> events_;
+  std::map<int, std::string> thread_names_;  // tid_slot -> track name
 };
 
 }  // namespace bdm

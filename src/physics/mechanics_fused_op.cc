@@ -92,10 +92,13 @@ void MechanicsFusedOp::Run(Simulation* sim) {
   const real_t attraction = force->attraction();
   const real_t attraction_range = force->attraction_range();
 
-  // Stage A: fused zero + traverse + scatter. pool->Run (not RunSlabs)
-  // because EVERY worker must zero its shard -- a worker whose slab is
-  // empty still receives scatter writes from pairs owned by other slabs.
-  pool->Run([&](int tid) {
+  // Stage A: fused zero + traverse + scatter, indexed by SLOT (shard ==
+  // slab index), not by executing worker: EVERY slot's shard must be zeroed
+  // -- a slot whose slab is empty still receives scatter writes from pairs
+  // owned by other slabs -- and under the op DAG this op may run on a
+  // partial worker team, whose members each cover a chunk of slots. With
+  // the full team RunSlots degenerates to slot == tid, the pre-DAG shape.
+  pool->RunSlots(pool->NumThreads(), [&](int tid) {
     SoaStore::ForceShard& shard = shards.shard(tid);
     std::memset(shard.fx.data(), 0, total * sizeof(real_t));
     std::memset(shard.fy.data(), 0, total * sizeof(real_t));

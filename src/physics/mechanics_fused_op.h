@@ -42,7 +42,10 @@ class MechanicsFusedOp : public StandaloneOperation {
  public:
   /// Shares the reference engines' op name so pipeline surgery such as
   /// RemoveOp("mechanical_forces") works against any mechanics engine.
-  MechanicsFusedOp() : StandaloneOperation("mechanical_forces", 1) {}
+  MechanicsFusedOp() : StandaloneOperation("mechanical_forces", 1) {
+    DeclareResources(kResGrid | kResAgentsGeometry,
+                     kResAgentsGeometry | kResForces);
+  }
   void Run(Simulation* sim) override;
 
  private:

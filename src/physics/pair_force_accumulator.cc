@@ -38,10 +38,12 @@ void PairForceAccumulator::Accumulate(const Environment& env,
   if (total == 0) {
     return;
   }
-  // Each worker clears only its own shard; no barrier against the
-  // traversal is needed because a worker never writes another worker's
-  // shard. (All-zero bit patterns are valid real_t zeros.)
-  pool->Run([&](int tid) {
+  // Clear every SLOT's shard (the traversal below scatters into the shard
+  // of the pair's slab index, which under a partial op-DAG team is not
+  // necessarily an executing worker's id -- RunSlots covers all slots
+  // regardless of team size). No barrier against the traversal is needed
+  // because no thread writes a shard another thread is clearing.
+  pool->RunSlots(pool->NumThreads(), [&](int tid) {
     SoaStore::ForceShard& shard = active_->shard(tid);
     std::memset(shard.fx.data(), 0, total * sizeof(real_t));
     std::memset(shard.fy.data(), 0, total * sizeof(real_t));

@@ -39,6 +39,7 @@ NumaThreadPool::NumaThreadPool(const Topology& topology) : topology_(topology) {
   // Any pool guarantees the metrics registry folds its workers' shards,
   // even when the pool is used standalone (tests) without a Simulation.
   MetricsRegistry::Get().ConfigureSlots(topology_.NumThreads() + 1);
+  queues_.resize(topology_.NumThreads());
   workers_.reserve(topology_.NumThreads());
   for (int tid = 0; tid < topology_.NumThreads(); ++tid) {
     workers_.emplace_back([this, tid] { WorkerLoop(tid); });
@@ -58,48 +59,104 @@ NumaThreadPool::~NumaThreadPool() {
 
 void NumaThreadPool::WorkerLoop(int tid) {
   internal::t_pool_worker_id = tid;
-  uint64_t seen_generation = 0;
+  internal::t_thread_slot = tid + 1;
+  std::unique_lock lock(mutex_);
   for (;;) {
-    const std::function<void(int)>* job = nullptr;
-    {
-      std::unique_lock lock(mutex_);
-      cv_start_.wait(lock,
-                     [&] { return shutdown_ || generation_ != seen_generation; });
-      if (shutdown_) {
-        return;
-      }
-      seen_generation = generation_;
-      job = job_;
+    cv_start_.wait(lock, [&] { return shutdown_ || !queues_[tid].empty(); });
+    if (queues_[tid].empty()) {
+      return;  // shutdown with a drained mailbox
     }
-    (*job)(tid);
-    {
-      std::unique_lock lock(mutex_);
-      if (--pending_ == 0) {
-        cv_done_.notify_one();
-      }
+    JobState* job = queues_[tid].front();
+    queues_[tid].pop_front();
+    lock.unlock();
+    (*job->fn)(tid);
+    lock.lock();
+    if (--job->pending == 0) {
+      // notify_all: several drivers may be blocked on different jobs.
+      cv_done_.notify_all();
     }
   }
 }
 
-void NumaThreadPool::Run(const std::function<void(int)>& job) {
+NumaThreadPool::Team NumaThreadPool::CurrentTeam() const {
+  const LaneBinding* lane = internal::t_lane;
+  if (lane == nullptr) {
+    return Team{0, NumThreads()};
+  }
+  const uint64_t packed = lane->range.load(std::memory_order_acquire);
+  Team team{static_cast<int>(packed >> 32),
+            static_cast<int>(static_cast<uint32_t>(packed))};
+  team.begin = std::clamp(team.begin, 0, NumThreads());
+  team.end = std::clamp(team.end, team.begin, NumThreads());
+  return team;
+}
+
+void NumaThreadPool::RunOn(Team team, const std::function<void(int)>& job) {
   // Nested invocation: a job running on a pool worker dispatched another
-  // pool call (e.g. an agent operation that commits removals). The workers
-  // are all busy in the outer job, so dispatching would deadlock; instead
-  // the calling worker executes the job inline, once, under its own id.
-  // Cursor-based jobs (ParallelFor, ForEachBlock) drain the full range that
-  // way -- one worker, every chunk.
+  // pool call (e.g. an agent operation that commits removals). The team's
+  // workers are all busy in the outer job, so dispatching would deadlock;
+  // instead the calling worker executes the job inline, once, under its own
+  // id. Cursor-based jobs (ParallelFor, ForEachBlock) drain the full range
+  // that way -- one worker, every chunk.
   const int worker = internal::t_pool_worker_id;
   if (worker >= 0) {
     job(worker);
     return;
   }
+  team.begin = std::clamp(team.begin, 0, NumThreads());
+  team.end = std::clamp(team.end, team.begin, NumThreads());
+  if (team.size() == 0) {
+    return;
+  }
+  JobState state{&job, team.size()};
   std::unique_lock lock(mutex_);
-  job_ = &job;
-  pending_ = topology_.NumThreads();
-  ++generation_;
+  ++active_jobs_;
+  for (int t = team.begin; t < team.end; ++t) {
+    queues_[t].push_back(&state);
+  }
   cv_start_.notify_all();
-  cv_done_.wait(lock, [&] { return pending_ == 0; });
-  job_ = nullptr;
+  cv_done_.wait(lock, [&] { return state.pending == 0; });
+  --active_jobs_;
+}
+
+void NumaThreadPool::Run(const std::function<void(int)>& job) {
+  const int worker = internal::t_pool_worker_id;
+  if (worker >= 0) {
+    job(worker);
+    return;
+  }
+  RunOn(CurrentTeam(), job);
+}
+
+void NumaThreadPool::RunSlots(int num_slots, const std::function<void(int)>& fn) {
+  if (num_slots <= 0) {
+    return;
+  }
+  if (NumThreads() == 1 || internal::t_pool_worker_id >= 0) {
+    for (int s = 0; s < num_slots; ++s) {
+      fn(s);
+    }
+    return;
+  }
+  const Team team = CurrentTeam();
+  const int k = std::min(team.size(), num_slots);
+  if (k <= 1) {
+    RunOn({team.begin, team.begin + 1}, [&](int) {
+      for (int s = 0; s < num_slots; ++s) {
+        fn(s);
+      }
+    });
+    return;
+  }
+  RunOn({team.begin, team.begin + k}, [&](int tid) {
+    const int rank = tid - team.begin;
+    const int lo = static_cast<int>(static_cast<int64_t>(rank) * num_slots / k);
+    const int hi =
+        static_cast<int>(static_cast<int64_t>(rank + 1) * num_slots / k);
+    for (int s = lo; s < hi; ++s) {
+      fn(s);
+    }
+  });
 }
 
 void NumaThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
@@ -158,8 +215,20 @@ void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
     }
     return;
   }
+  const Team team = CurrentTeam();
+  if (team.size() < NumThreads()) {
+    // Partial team (a co-running op owns the other workers): the slab count
+    // stays NumThreads() -- per-slab buffers are keyed by slab index -- and
+    // the team's workers cover all slabs in contiguous chunks.
+    RunSlots(NumThreads(), [&](int slot) {
+      if (slabs.bounds[slot] < slabs.bounds[slot + 1]) {
+        fn(slabs.bounds[slot], slabs.bounds[slot + 1], slot);
+      }
+    });
+    return;
+  }
   if (!MetricsRegistry::Enabled()) {
-    Run([&](int tid) {
+    RunOn(team, [&](int tid) {
       const int64_t lo = slabs.bounds[tid];
       const int64_t hi = slabs.bounds[tid + 1];
       if (lo < hi) {
@@ -168,13 +237,14 @@ void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
     });
     return;
   }
-  // Instrumented dispatch: each worker stamps its slab's wall time (two
-  // clock reads per dispatch, nothing per item); the dispatcher reduces the
-  // stamps to a max/mean imbalance gauge. The static slab split is even in
-  // *items*, so this gauge directly shows when per-item cost is skewed
-  // across slabs (e.g. one dense grid region).
+  // Instrumented dispatch (full team only, so at most one runs at a time --
+  // the imbalance gauge is single-writer): each worker stamps its slab's
+  // wall time (two clock reads per dispatch, nothing per item); the
+  // dispatcher reduces the stamps to a max/mean imbalance gauge. The static
+  // slab split is even in *items*, so this gauge directly shows when
+  // per-item cost is skewed across slabs (e.g. one dense grid region).
   std::vector<double> slab_seconds(NumThreads(), 0.0);
-  Run([&](int tid) {
+  RunOn(team, [&](int tid) {
     const int64_t lo = slabs.bounds[tid];
     const int64_t hi = slabs.bounds[tid + 1];
     if (lo < hi) {
@@ -196,8 +266,7 @@ void NumaThreadPool::RunSlabs(const SlabPartition& slabs, const RangeFn& fn) {
     }
   }
   auto& registry = MetricsRegistry::Get();
-  registry.Add(Metrics().slab_dispatches, 1,
-               internal::t_pool_worker_id + 1);
+  registry.Add(Metrics().slab_dispatches, 1, CurrentThreadSlot());
   if (busy_slabs > 0 && sum_seconds > 0) {
     registry.SetGauge(Metrics().slab_imbalance,
                       max_seconds / (sum_seconds / busy_slabs));
@@ -244,7 +313,8 @@ void NumaThreadPool::ForEachBlock(const std::vector<int64_t>& blocks_per_domain,
   // NUMA-aware: per (domain, thread-slot) contiguous block ranges with
   // atomic cursors. A thread drains its own range, then steals from sibling
   // slots in the same domain, then from other domains (paper Fig. 2, steps 4
-  // and 5).
+  // and 5). Ranges exist for ALL workers; under a partial team the stealing
+  // levels drain the absent workers' cursors, so coverage is complete.
   const int num_threads = topology_.NumThreads();
   std::vector<Cursor> cursors(num_threads);
   std::vector<int> slot_domain(num_threads, 0);
@@ -317,6 +387,11 @@ void NumaThreadPool::ForEachBlock(const std::vector<int64_t>& blocks_per_domain,
       registry.Add(Metrics().remote_steal_blocks, remote_blocks, slot);
     }
   });
+}
+
+bool NumaThreadPool::Quiescent() const {
+  std::unique_lock lock(mutex_);
+  return active_jobs_ == 0;
 }
 
 }  // namespace bdm

@@ -8,12 +8,20 @@
 // blocks are partitioned among the domain's threads, and an idle thread
 // first steals blocks from a sibling thread in the same domain, then from
 // threads of other domains.
+//
+// Dispatch model: each worker owns a mailbox queue of jobs. Several driver
+// threads (the main thread, or the op-DAG executor's lane threads) can
+// dispatch concurrently to DISJOINT worker ranges ("teams"), which is what
+// lets independent operations of one iteration overlap on the shared pool.
+// A driver outside any team addresses the full pool; a lane thread bound
+// via BindLane addresses only its current team.
 #ifndef BDM_SCHED_NUMA_THREAD_POOL_H_
 #define BDM_SCHED_NUMA_THREAD_POOL_H_
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -23,11 +31,34 @@
 
 namespace bdm {
 
+/// Mutable worker-range assignment for an op-driver ("lane") thread. The
+/// DAG executor owns one per lane; between ops it rewrites the range, and
+/// while an op runs it may only WIDEN it (grow-only rebalance), so any
+/// range a dispatch snapshots is owned by that lane for the dispatch's
+/// whole lifetime. Packed into one word so a reader never sees a torn
+/// begin/end pair.
+struct LaneBinding {
+  std::atomic<uint64_t> range{0};
+
+  void Store(int begin, int end) {
+    range.store((static_cast<uint64_t>(static_cast<uint32_t>(begin)) << 32) |
+                    static_cast<uint32_t>(end),
+                std::memory_order_release);
+  }
+};
+
 namespace internal {
 /// Worker id of the calling pool thread (-1 outside any pool). Inline so
 /// per-deposit hot paths (diffusion_grid.cc) resolve it with one TLS load
 /// instead of a cross-TU call.
 inline thread_local int t_pool_worker_id = -1;
+/// Thread slot of the calling thread for per-thread shards (metrics,
+/// timing, diffusion deposit logs): 0 = main/unbound thread, t+1 = pool
+/// worker t, DAG lane threads bind slots past the workers. Distinct slots
+/// are what keep two concurrently-running ops from sharing shard 0.
+inline thread_local int t_thread_slot = 0;
+/// Team binding of the calling lane thread (nullptr = full pool).
+inline thread_local LaneBinding* t_lane = nullptr;
 }  // namespace internal
 
 class NumaThreadPool {
@@ -36,6 +67,13 @@ class NumaThreadPool {
   using BlockFn = std::function<void(int, int64_t, int)>;
   /// Signature of a range callback: [begin, end) plus the worker tid.
   using RangeFn = std::function<void(int64_t, int64_t, int)>;
+
+  /// Contiguous worker range [begin, end) a dispatch addresses.
+  struct Team {
+    int begin = 0;
+    int end = 0;
+    int size() const { return end - begin; }
+  };
 
   explicit NumaThreadPool(const Topology& topology);
   ~NumaThreadPool();
@@ -46,13 +84,32 @@ class NumaThreadPool {
   const Topology& topology() const { return topology_; }
   int NumThreads() const { return topology_.NumThreads(); }
 
-  /// Runs `job(tid)` on every worker thread and blocks until all return.
+  /// Runs `job(tid)` on every worker of the calling thread's current team
+  /// (the full pool for the main thread) and blocks until all return.
   /// When called from a pool worker (a nested pool invocation -- every
-  /// worker is already busy in the outer job, so dispatching would
-  /// deadlock), the calling worker executes `job` inline exactly once under
-  /// its own id. Nested ParallelFor/ForEachBlock calls therefore degrade to
-  /// a serial loop on the caller that still covers the full range.
+  /// worker of the team is already busy in the outer job, so dispatching
+  /// would deadlock), the calling worker executes `job` inline exactly once
+  /// under its own id. Nested ParallelFor/ForEachBlock calls therefore
+  /// degrade to a serial loop on the caller that still covers the full
+  /// range.
   void Run(const std::function<void(int)>& job);
+
+  /// Runs `job(tid)` on every worker of an explicit `team` and blocks until
+  /// all return. `tid` is the REAL worker id; rank-based callers compute
+  /// `tid - team.begin`. Teams of concurrent dispatchers must be disjoint
+  /// (the DAG executor guarantees this); overlapping dispatches are safe
+  /// but serialize on the shared workers.
+  void RunOn(Team team, const std::function<void(int)>& job);
+
+  /// Covers slot indices [0, num_slots) from the calling thread's team:
+  /// each team worker runs `fn(slot)` for one contiguous chunk of slots.
+  /// This is the primitive for jobs keyed by a per-thread BUFFER index
+  /// rather than by the executing worker (force-shard zeroing, slab-indexed
+  /// folds): with a partial team every slot is still covered exactly once.
+  /// With the full team and num_slots == NumThreads() it degenerates to
+  /// Run's one-slot-per-worker shape (slot == tid), bitwise-identical work
+  /// placement to the pre-team pool.
+  void RunSlots(int num_slots, const std::function<void(int)>& fn);
 
   /// Dynamically-scheduled parallel loop over [begin, end) in chunks of
   /// `grain` iterations. Chunks are handed out through a shared counter,
@@ -72,8 +129,10 @@ class NumaThreadPool {
   };
   SlabPartition MakeSlabPartition(int64_t begin, int64_t end) const;
 
-  /// Runs `fn(bounds[t], bounds[t+1], t)` on every worker t whose slab is
-  /// non-empty. One dispatch, static schedule -- no shared cursor.
+  /// Runs `fn(bounds[t], bounds[t+1], t)` for every non-empty slab t. The
+  /// reported tid is the SLAB index (callers key per-thread buffers on it);
+  /// with the full team each worker runs exactly its own slab, with a
+  /// partial team the team's workers cover all slabs via RunSlots.
   void RunSlabs(const SlabPartition& slabs, const RangeFn& fn);
 
   /// NUMA-aware iteration over blocks (paper Fig. 2). `blocks_per_domain[d]`
@@ -81,12 +140,36 @@ class NumaThreadPool {
   /// `numa_aware == false` the domain structure is ignored and all blocks go
   /// through one shared counter -- this is the engine's "NUMA-aware
   /// iteration off" configuration used in the Section 6.10 benchmark.
+  /// Work stealing drains every per-thread cursor, so a partial team still
+  /// covers all blocks.
   void ForEachBlock(const std::vector<int64_t>& blocks_per_domain, bool numa_aware,
                     const BlockFn& fn);
+
+  /// True when no dispatch is in flight and every mailbox is empty. The
+  /// scheduler asserts this at the iteration sink before folding the
+  /// metric/timing shards (their "strictly between parallel regions"
+  /// precondition).
+  bool Quiescent() const;
 
   /// Thread id of the calling pool worker, or -1 when called from a thread
   /// that does not belong to any pool.
   static int CurrentThreadId() { return internal::t_pool_worker_id; }
+
+  /// Per-thread shard slot of the calling thread (0 = main/unbound,
+  /// t+1 = pool worker t, lane threads as bound via BindLane).
+  static int CurrentThreadSlot() { return internal::t_thread_slot; }
+
+  /// Binds the calling thread to `lane` for team resolution and to
+  /// `thread_slot` for shard indexing. Pass (nullptr, 0) to unbind (main
+  /// thread semantics). Called once by each DAG executor lane thread.
+  static void BindLane(LaneBinding* lane, int thread_slot) {
+    internal::t_lane = lane;
+    internal::t_thread_slot = thread_slot;
+  }
+
+  /// The calling thread's current team: the bound lane's worker range, or
+  /// the full pool for unbound threads.
+  Team CurrentTeam() const;
 
  private:
   struct Cursor {
@@ -95,19 +178,28 @@ class NumaThreadPool {
     int64_t end = 0;
   };
 
+  /// One dispatch: the job closure plus how many workers still owe a run.
+  /// Lives on the dispatcher's stack for the duration of its RunOn.
+  struct JobState {
+    const std::function<void(int)>* fn;
+    int pending;
+  };
+
   void WorkerLoop(int tid);
 
   Topology topology_;
   std::vector<std::thread> workers_;
 
-  // Job dispatch: generation counter bumped per job; workers wait for it.
-  std::mutex mutex_;
+  // Mailbox dispatch: RunOn enqueues one JobState* per team worker; each
+  // worker pops from its own queue. Multiple drivers (main thread, DAG
+  // lanes) enqueue concurrently under mutex_; disjoint teams never touch
+  // the same mailbox, so co-running ops proceed independently.
+  mutable std::mutex mutex_;
   std::condition_variable cv_start_;
   std::condition_variable cv_done_;
-  uint64_t generation_ = 0;
-  int pending_ = 0;
+  std::vector<std::deque<JobState*>> queues_;
+  int active_jobs_ = 0;  // dispatches not yet fully completed
   bool shutdown_ = false;
-  const std::function<void(int)>* job_ = nullptr;
 };
 
 }  // namespace bdm
