@@ -1,0 +1,327 @@
+// Gate + measurement for the spatially-sharded engine (src/shard/):
+// TeraAgent-in-one-process domain decomposition with delta-encoded halo
+// exchange over the in-process mailbox transport.
+//
+// Correctness gates (fail the process, run before any timing):
+//  1. S=1 must be BITWISE identical to an unsharded single-threaded run:
+//     the shard layer skips the exchange entirely for one shard, so any
+//     drift means the wrapper changed engine semantics.
+//  2. S in {2, 4} (multi-threaded, CheckShards every iteration) must
+//     conserve
+//       - the owned-agent count (migrations move, never create/destroy),
+//       - total momentum: pair forces across a shard boundary are computed
+//         twice from bitwise-identical ghost geometry, so the summed
+//         displacement drift per agent must stay below 1e-9,
+//       - summed diffusion mass across the per-shard closed grids (decay
+//         0, zero-flux boundaries) to 1e-9 relative.
+//
+// The measured section reports ns/agent-iteration for S in {1, 2, 4} on
+// the same workload plus the exchange counters (migrations, halo records,
+// wire bytes -- the delta codec's compression is visible as bytes/record).
+// Emits BENCH_shard.json; the checked-in smoke baseline under
+// bench/baselines/smoke/ feeds regress.py (presence gate in --smoke CI).
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "continuum/diffusion_grid.h"
+#include "core/agent.h"
+#include "core/cell.h"
+#include "core/consistency_audit.h"
+#include "core/resource_manager.h"
+#include "core/simulation.h"
+#include "harness.h"
+#include "math/random.h"
+#include "obs/metrics.h"
+#include "shard/sharded_simulation.h"
+
+namespace bdm::bench {
+namespace {
+
+struct Workload {
+  uint64_t n = 0;
+  real_t space = 0;   // global volume edge length
+  int resolution = 0; // diffusion grid points per axis (per shard)
+  uint64_t seed = 4357;
+  uint64_t iterations = 0;
+};
+
+Param ShardParam(int threads) {
+  Param param;
+  param.num_threads = threads;
+  param.num_numa_domains = threads >= 4 ? 2 : 1;
+  // Uniform neighbor-search radius across all shards (the halo width must
+  // cover every shard's interaction radius exactly), and no per-agent
+  // force/displacement cutoffs -- both would break the exact pairwise
+  // antisymmetry the momentum gate measures.
+  param.fixed_box_length = 10;
+  param.force_threshold_squared = 0;
+  param.max_displacement = 1e9;
+  return param;
+}
+
+/// Slightly overlapping random packing: every cell starts in contact so the
+/// relaxation exercises forces, migrations, and halo churn from step one.
+std::vector<Real3> MakePositions(const Workload& w) {
+  Random random(w.seed);
+  std::vector<Real3> positions;
+  positions.reserve(w.n);
+  for (uint64_t i = 0; i < w.n; ++i) {
+    positions.push_back(random.UniformPoint(0, w.space));
+  }
+  return positions;
+}
+
+std::function<std::unique_ptr<DiffusionGrid>()> GridFactory(
+    const Workload& w) {
+  return [&w]() {
+    auto grid = std::make_unique<DiffusionGrid>("oxygen",
+                                                /*diffusion_coefficient=*/40,
+                                                /*decay=*/0, w.resolution);
+    grid->SetBoundaryCondition(DiffusionGrid::BoundaryCondition::kClosed);
+    return grid;
+  };
+}
+
+/// Discrete total mass of one grid: concentration summed over every grid
+/// point of the extent it spans.
+double GridMass(const DiffusionGrid* grid, const Real3& lower) {
+  const int res = grid->GetResolution();
+  const real_t voxel = grid->GetVoxelLength();
+  double mass = 0;
+  for (int z = 0; z < res; ++z) {
+    for (int y = 0; y < res; ++y) {
+      for (int x = 0; x < res; ++x) {
+        mass += grid->GetConcentration(
+            {lower.x + x * voxel, lower.y + y * voxel, lower.z + z * voxel});
+      }
+    }
+  }
+  return mass;
+}
+
+void SeedField(DiffusionGrid* grid, real_t space) {
+  const real_t mid = space / 2;
+  grid->SetInitialValue([mid](const Real3& p) {
+    return 1 + (p - Real3{mid, mid, mid}).Norm() * real_t{0.01};
+  });
+}
+
+struct ShardedRun {
+  std::map<AgentUid, Real3> positions;
+  uint64_t owned = 0;
+  double initial_mass = 0;
+  double mass = 0;
+  Real3 momentum_drift;  // sum over agents of (final - initial position)
+  double ns_per_agent_iter = 0;
+};
+
+ShardedRun RunSharded(const Workload& w, int num_shards, int threads,
+                      int audit_interval) {
+  Param param = ShardParam(threads);
+  param.audit_interval = audit_interval;
+  shard::ShardedSimulation sim("bench_shard_s" + std::to_string(num_shards),
+                               param, {0, 0, 0}, {w.space, w.space, w.space},
+                               num_shards);
+  sim.AddDiffusionGrid(GridFactory(w));
+  for (int s = 0; s < sim.NumShards(); ++s) {
+    Simulation* previous = Simulation::SetActive(sim.GetShard(s)->sim());
+    SeedField(sim.GetShard(s)->sim()->GetAllDiffusionGrids()[0], w.space);
+    Simulation::SetActive(previous);
+  }
+  Real3 initial_sum;
+  for (const Real3& p : MakePositions(w)) {
+    initial_sum += p;
+    sim.AddAgent(new Cell(p, 8));
+  }
+
+  ShardedRun result;
+  for (int s = 0; s < sim.NumShards(); ++s) {
+    result.initial_mass += GridMass(
+        sim.GetShard(s)->sim()->GetAllDiffusionGrids()[0],
+        sim.GetShard(s)->extent().lower);
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sim.Simulate(w.iterations);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+
+  result.ns_per_agent_iter =
+      std::chrono::duration<double, std::nano>(elapsed).count() /
+      (static_cast<double>(w.n) * static_cast<double>(w.iterations));
+  result.owned = sim.TotalOwned();
+  Real3 final_sum;
+  for (int s = 0; s < sim.NumShards(); ++s) {
+    shard::Shard* sh = sim.GetShard(s);
+    sh->sim()->GetResourceManager()->ForEachAgent(
+        [&](Agent* agent, AgentHandle) {
+          if (agent->IsGhost()) {
+            return;
+          }
+          final_sum += agent->GetPosition();
+          result.positions[agent->GetUid()] = agent->GetPosition();
+        });
+    result.mass += GridMass(sh->sim()->GetAllDiffusionGrids()[0],
+                            sh->extent().lower);
+  }
+  result.momentum_drift = final_sum - initial_sum;
+  return result;
+}
+
+/// Reference for the bitwise gate: a plain unsharded Simulation over the
+/// identical workload, single-threaded.
+ShardedRun RunUnsharded(const Workload& w) {
+  Simulation sim("bench_shard_reference", ShardParam(1));
+  auto* grid = sim.AddDiffusionGrid(GridFactory(w)(), {0, 0, 0},
+                                    {w.space, w.space, w.space});
+  SeedField(grid, w.space);
+  for (const Real3& p : MakePositions(w)) {
+    sim.GetResourceManager()->AddAgent(new Cell(p, 8));
+  }
+  sim.Simulate(w.iterations);
+  ShardedRun result;
+  result.owned = sim.GetResourceManager()->GetNumAgents();
+  sim.GetResourceManager()->ForEachAgent([&](Agent* agent, AgentHandle) {
+    result.positions[agent->GetUid()] = agent->GetPosition();
+  });
+  result.mass = GridMass(grid, {0, 0, 0});
+  return result;
+}
+
+bool BitwiseSamePositions(const std::map<AgentUid, Real3>& a,
+                          const std::map<AgentUid, Real3>& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  auto it = b.begin();
+  for (const auto& [uid, pos] : a) {
+    if (uid != it->first || pos.x != it->second.x || pos.y != it->second.y ||
+        pos.z != it->second.z) {
+      return false;
+    }
+    ++it;
+  }
+  return true;
+}
+
+int Run() {
+  Workload w;
+  w.n = SmokeMode() ? 2'000 : Scaled(50'000);
+  w.space = static_cast<real_t>(8.2 * std::cbrt(static_cast<double>(w.n)));
+  w.resolution = SmokeMode() ? 16 : 32;
+  w.iterations = SmokeMode() ? 8 : 25;
+  const int threads = SmokeMode() ? 4 : 0;  // 0 = hardware concurrency
+
+  // --- Gate 1: S=1 is bitwise identical to an unsharded run ---------------
+  Workload gate = w;
+  gate.n = std::min<uint64_t>(w.n, 512);
+  gate.space = static_cast<real_t>(8.2 * std::cbrt(static_cast<double>(gate.n)));
+  gate.iterations = 8;
+  const ShardedRun reference = RunUnsharded(gate);
+  const ShardedRun single =
+      RunSharded(gate, /*num_shards=*/1, /*threads=*/1, /*audit_interval=*/0);
+  if (!BitwiseSamePositions(reference.positions, single.positions) ||
+      reference.mass != single.mass) {
+    std::fprintf(stderr,
+                 "S=1 drifted from the unsharded reference (%zu vs %zu "
+                 "agents, mass %.17g vs %.17g)\n",
+                 reference.positions.size(), single.positions.size(),
+                 reference.mass, single.mass);
+    return 1;
+  }
+
+  // --- Gate 2: S in {2, 4} conserve count, momentum, and mass -------------
+  // CheckShards runs inside Simulate every iteration (audit_interval=1) and
+  // throws on any cross-shard violation.
+  std::vector<ShardedRun> gated;
+  for (const int s : {2, 4}) {
+    ShardedRun run;
+    try {
+      run = RunSharded(gate, s, threads, /*audit_interval=*/1);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "S=%d audit failure: %s\n", s, e.what());
+      return 1;
+    }
+    if (run.owned != gate.n) {
+      std::fprintf(stderr, "S=%d lost agents: %llu of %llu\n", s,
+                   static_cast<unsigned long long>(run.owned),
+                   static_cast<unsigned long long>(gate.n));
+      return 1;
+    }
+    const double drift =
+        std::max({std::fabs(run.momentum_drift.x),
+                  std::fabs(run.momentum_drift.y),
+                  std::fabs(run.momentum_drift.z)}) /
+        static_cast<double>(gate.n);
+    if (drift > 1e-9) {
+      std::fprintf(stderr, "S=%d momentum drift %.3g per agent exceeds 1e-9\n",
+                   s, drift);
+      return 1;
+    }
+    // Each shard's grid is closed (zero-flux) with zero decay and receives
+    // no deposits, so the summed mass across the shard set must match the
+    // run's own post-seed snapshot to solver rounding.
+    const double mass_error =
+        std::fabs(run.mass - run.initial_mass) / run.initial_mass;
+    if (mass_error > 1e-9) {
+      std::fprintf(stderr,
+                   "S=%d diffusion mass drifted by %.3g relative "
+                   "(%.17g vs %.17g)\n",
+                   s, mass_error, run.mass, run.initial_mass);
+      return 1;
+    }
+    gated.push_back(run);
+  }
+
+  // --- Measured runs (audit off) ------------------------------------------
+  PrintHeader("Sharded engine: S shards, halo exchange per iteration");
+  std::printf("agents %llu, %llu iterations, %d threads, box %.0f^3\n",
+              static_cast<unsigned long long>(w.n),
+              static_cast<unsigned long long>(w.iterations),
+              ShardParam(threads).ResolveNumThreads(),
+              static_cast<double>(w.space));
+  auto& registry = MetricsRegistry::Get();
+  std::vector<JsonRecord> records;
+  double s1_ns = 0;
+  for (const int s : {1, 2, 4}) {
+    const ShardedRun run = RunSharded(w, s, threads, /*audit_interval=*/0);
+    const double migrations =
+        static_cast<double>(registry.CounterTotal("shard/migrations"));
+    const double halo_records =
+        static_cast<double>(registry.CounterTotal("shard/halo_agents_sent"));
+    const double bytes =
+        static_cast<double>(registry.CounterTotal("shard/exchange_bytes"));
+    if (s == 1) {
+      s1_ns = run.ns_per_agent_iter;
+    }
+    const double bytes_per_record =
+        halo_records > 0 ? bytes / halo_records : 0;
+    std::printf(
+        "  S=%d : %8.1f ns/agent-iter  (%.2fx vs S=1)  "
+        "%7.0f halo records, %5.1f B/record, %5.0f migrations\n",
+        s, run.ns_per_agent_iter, s1_ns / run.ns_per_agent_iter,
+        halo_records, bytes_per_record, migrations);
+    records.push_back(
+        {"shard_s" + std::to_string(s), w.n, run.ns_per_agent_iter,
+         {{"iterations", static_cast<double>(w.iterations)},
+          {"migrations", migrations},
+          {"halo_records", halo_records},
+          {"exchange_bytes_per_record", bytes_per_record},
+          {"overhead_vs_s1", run.ns_per_agent_iter / s1_ns}}});
+  }
+  std::printf("  gates: S=1 bitwise vs unsharded; S=2,4 conserve count, "
+              "momentum, mass (audited every iteration)\n");
+
+  WriteBenchJson("BENCH_shard.json", records);
+  return 0;
+}
+
+}  // namespace
+}  // namespace bdm::bench
+
+int main() { return bdm::bench::Run(); }

@@ -11,6 +11,7 @@ namespace bdm {
 Agent::Agent(const Agent& other)
     : uid_(other.uid_),
       position_(other.position_),
+      is_ghost_(other.is_ghost_),
       is_static_(other.is_static_),
       propagate_staticness_(other.propagate_staticness_),
       is_static_next_(other.is_static_next_.load(std::memory_order_relaxed)) {

@@ -107,6 +107,23 @@ class Agent {
   /// the engine falls back to the per-agent path for everyone.
   virtual bool HasCustomMechanics() const { return false; }
 
+  // --- sharding (src/shard/) -------------------------------------------------
+  /// Ghost agents are read-only halo copies owned by another shard: they
+  /// participate in neighbor search and exert forces on local agents, but
+  /// the engine never integrates a displacement for them, never runs their
+  /// behaviors (they carry none), and they are excluded from population
+  /// accounting. The owning shard refreshes their geometry every halo
+  /// exchange.
+  bool IsGhost() const { return is_ghost_; }
+  void SetGhost(bool value) { is_ghost_ = value; }
+  /// Mirrors the owner's staticness onto a ghost at halo exchange, so the
+  /// static-pair skip (Section 5) agrees on both sides of a shard boundary.
+  /// Engine-internal: only the shard layer calls this.
+  void MirrorStaticness(bool is_static) {
+    is_static_ = is_static;
+    is_static_next_.store(is_static, std::memory_order_relaxed);
+  }
+
   // --- static-agent mechanism (Section 5) -----------------------------------
   bool IsStatic() const { return is_static_; }
   /// Clears the agent's staticness for the next iteration. Thread-safe: any
@@ -146,6 +163,11 @@ class Agent {
   AgentUid uid_;
   Real3 position_;
   std::vector<Behavior*> behaviors_;
+
+  // Halo-copy flag (see IsGhost). Set once when the shard layer materializes
+  // the copy, cleared never; plain bool because it is immutable while the
+  // agent is visible to parallel traversals.
+  bool is_ghost_ = false;
 
   // Staticness state. `is_static_` is read-only during an iteration;
   // `is_static_next_` is written concurrently by the agent and its

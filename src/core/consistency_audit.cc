@@ -2,6 +2,7 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "core/agent.h"
@@ -9,8 +10,10 @@
 #include "core/simulation.h"
 #include "core/soa_dirty.h"
 #include "env/environment.h"
+#include "io/agent_record.h"
 #include "obs/metrics.h"
 #include "sched/numa_thread_pool.h"
+#include "shard/sharded_simulation.h"
 
 namespace bdm {
 
@@ -258,6 +261,122 @@ std::vector<std::string> ConsistencyAudit::CheckAll(Simulation* sim,
   const std::vector<std::string> store_violations = CheckSoaStore(*rm, env);
   violations.insert(violations.end(), store_violations.begin(),
                     store_violations.end());
+  return violations;
+}
+
+std::vector<std::string> ConsistencyAudit::CheckShards(
+    shard::ShardedSimulation* sim) {
+  std::vector<std::string> violations;
+  const auto complain = [&](int shard_id, const std::string& what) {
+    std::ostringstream os;
+    os << "shard " << shard_id << ": " << what;
+    violations.push_back(os.str());
+  };
+
+  // Global uid uniqueness: the shared generator must never have issued the
+  // same (index, reused) pair to two live agents, no matter the shard.
+  std::unordered_map<AgentUid, int> uid_owner;
+  for (int s = 0; s < sim->NumShards(); ++s) {
+    shard::Shard* shard = sim->GetShard(s);
+    shard->sim()->GetResourceManager()->ForEachAgent(
+        [&](Agent* agent, AgentHandle) {
+          auto [it, inserted] = uid_owner.emplace(agent->GetUid(), s);
+          if (!inserted) {
+            std::ostringstream os;
+            os << "uid " << agent->GetUid() << " is live here and in shard "
+               << it->second;
+            complain(s, os.str());
+          }
+        });
+  }
+
+  uint64_t total_owned = 0;
+  for (int s = 0; s < sim->NumShards(); ++s) {
+    shard::Shard* shard = sim->GetShard(s);
+    ResourceManager* rm = shard->sim()->GetResourceManager();
+    total_owned += shard->NumOwned();
+
+    // Ghost bookkeeping: every flagged ghost is in the registry and vice
+    // versa.
+    uint64_t flagged_ghosts = 0;
+    rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+      if (agent->IsGhost()) {
+        ++flagged_ghosts;
+      } else if (spatial::LocateShard(sim->Extents(), agent->GetPosition()) !=
+                 s) {
+        std::ostringstream os;
+        os << "owned agent " << agent->GetUid()
+           << " sits outside this shard's extent (missed migration)";
+        complain(s, os.str());
+      }
+    });
+    if (flagged_ghosts != shard->NumGhosts()) {
+      std::ostringstream os;
+      os << flagged_ghosts << " flagged ghost agents but "
+         << shard->NumGhosts() << " ghost-registry entries";
+      complain(s, os.str());
+    }
+
+    // Ghost <-> owner agreement: the halo copy must exist, its recorded
+    // owner must be live in the recorded owner shard, and position and
+    // diameter must match *bitwise* (the delta codec is lossless; any
+    // difference is an exchange bug, not rounding).
+    for (const auto& [owner_uid, entry] : shard->Ghosts()) {
+      const Agent* ghost = rm->GetAgent(entry.local_uid);
+      if (ghost == nullptr || !ghost->IsGhost()) {
+        std::ostringstream os;
+        os << "ghost registry entry " << owner_uid
+           << " does not resolve to a live ghost agent";
+        complain(s, os.str());
+        continue;
+      }
+      if (entry.owner_shard < 0 || entry.owner_shard >= sim->NumShards() ||
+          entry.owner_shard == s) {
+        std::ostringstream os;
+        os << "ghost " << owner_uid << " records invalid owner shard "
+           << entry.owner_shard;
+        complain(s, os.str());
+        continue;
+      }
+      const Agent* owner = sim->GetShard(entry.owner_shard)
+                               ->sim()
+                               ->GetResourceManager()
+                               ->GetAgent(owner_uid);
+      if (owner == nullptr || owner->IsGhost()) {
+        std::ostringstream os;
+        os << "ghost " << owner_uid << " has no live owner in shard "
+           << entry.owner_shard;
+        complain(s, os.str());
+        continue;
+      }
+      const bool position_matches =
+          io::RealBits(ghost->GetPosition().x) ==
+              io::RealBits(owner->GetPosition().x) &&
+          io::RealBits(ghost->GetPosition().y) ==
+              io::RealBits(owner->GetPosition().y) &&
+          io::RealBits(ghost->GetPosition().z) ==
+              io::RealBits(owner->GetPosition().z);
+      if (!position_matches ||
+          io::RealBits(ghost->GetDiameter()) !=
+              io::RealBits(owner->GetDiameter())) {
+        std::ostringstream os;
+        os << "ghost " << owner_uid
+           << " geometry disagrees bitwise with its owner in shard "
+           << entry.owner_shard;
+        complain(s, os.str());
+      }
+    }
+  }
+
+  // Conservation: the exchange moves and mirrors agents, it must never
+  // create or destroy them.
+  if (total_owned != sim->ExpectedOwned()) {
+    std::ostringstream os;
+    os << "exchange changed the owned-agent count: " << sim->ExpectedOwned()
+       << " before, " << total_owned << " after";
+    violations.push_back(os.str());
+  }
+
   return violations;
 }
 

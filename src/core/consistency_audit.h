@@ -34,6 +34,10 @@ class Environment;
 class ResourceManager;
 class Simulation;
 
+namespace shard {
+class ShardedSimulation;
+}  // namespace shard
+
 class ConsistencyAudit {
  public:
   /// Verifies the resource manager's invariants (bijection, handles,
@@ -59,6 +63,20 @@ class ConsistencyAudit {
   /// pending (both states are "stale by design" until the next rebuild).
   static std::vector<std::string> CheckSoaStore(const ResourceManager& rm,
                                                 const Environment* env);
+
+  /// Verifies the cross-shard invariants of a ShardedSimulation, meaningful
+  /// right after a halo exchange (before the next step phase moves owners
+  /// away from their ghosts):
+  ///  * every uid is live in exactly one shard (global uniqueness under the
+  ///    shared generator),
+  ///  * every ghost-registry entry resolves to a live local ghost AND a
+  ///    live owner in the recorded owner shard, with *bitwise* identical
+  ///    position and diameter,
+  ///  * per-shard ghost bookkeeping (registry size == flagged-ghost count),
+  ///  * every owned agent's position maps to its own shard's extent,
+  ///  * the exchange conserved the total owned-agent count
+  ///    (ShardedSimulation::ExpectedOwned).
+  static std::vector<std::string> CheckShards(shard::ShardedSimulation* sim);
 
   /// Runs every check on a quiesced simulation. `refresh_environment`
   /// rebuilds the index first so the environment checks compare against

@@ -72,6 +72,11 @@ namespace {
 // engine) and MechanicalForcesPairOp's custom-mechanics fallback.
 void RunPerAgentMechanics(Agent* agent, Simulation* sim) {
   const Param& param = sim->GetParam();
+  if (agent->IsGhost()) {
+    // Halo copy owned by another shard: its owner integrates its
+    // displacement; here it only serves as a force source for neighbors.
+    return;
+  }
   if (param.detect_static_agents && agent->IsStatic()) {
     // The expensive pairwise force loop is provably redundant. The counter
     // quantifies how much work O6 saves (paper Section 5's win).
@@ -126,6 +131,9 @@ void MechanicalForcesPairOp::Run(Simulation* sim) {
       sim->GetThreadPool(),
       [&](uint32_t index, const Real3& total, int non_zero_forces, int) {
         Agent* agent = agents[index];
+        if (agent->IsGhost()) {
+          return;  // halo copy: displacement is integrated by its owner shard
+        }
         // Same skip as the per-agent path: a static agent is neither woken
         // nor displaced. (Its pairs with awake partners were still computed
         // above -- the awake side needs the force.)

@@ -45,6 +45,55 @@ Simulation::Simulation(std::string name, const Param& param)
          "only one Simulation may be active at a time (see class comment)");
   active_ = this;
 
+  ApplyEnvOverrides();
+
+  // Observability hooks (DESIGN.md Section 7). BDM_METRICS=0 forces the
+  // counter layer off (overhead A/B runs); BDM_TRACE=<path> records every
+  // operation span of this simulation as a chrome://tracing JSON written on
+  // destruction. Metric totals reset per simulation so snapshots and the
+  // end-of-run dump describe this run alone.
+  auto& registry = MetricsRegistry::Get();
+  registry.ConfigureSlots(topology_.NumThreads() + 1);
+  registry.SetEnabled(param_.collect_metrics);
+  registry.Reset();
+  if (std::getenv("BDM_TRACE") != nullptr) {
+    TraceRecorder::Get().Start(name_);
+  }
+
+  owned_pool_ = std::make_unique<NumaThreadPool>(topology_);
+  pool_ = owned_pool_.get();
+  if (param_.use_bdm_memory_manager) {
+    owned_memory_manager_ =
+        std::make_unique<MemoryManager>(topology_, param_.memory);
+    memory_manager_ = owned_memory_manager_.get();
+    MemoryManager::SetGlobal(memory_manager_);
+  }
+  owned_uid_generator_ = std::make_unique<AgentUidGenerator>();
+  uid_generator_ = owned_uid_generator_.get();
+
+  BuildComponents();
+}
+
+Simulation::Simulation(std::string name, const Param& param,
+                       const SharedServices& services)
+    : name_(std::move(name)),
+      param_(param),
+      topology_(param_.ResolveNumThreads(), param_.num_numa_domains),
+      owns_services_(false),
+      pool_(services.pool),
+      memory_manager_(services.memory_manager),
+      uid_generator_(services.uid_generator) {
+  assert(pool_ != nullptr && uid_generator_ != nullptr &&
+         "shared-service simulations need an external pool and uid generator");
+  ApplyEnvOverrides();
+  // No metrics slot reconfiguration / reset and no trace start here: the
+  // owner of the shared services (ShardedSimulation) performs the
+  // process-global observability setup exactly once -- a per-shard reset
+  // would wipe the counters of every sibling shard.
+  BuildComponents();
+}
+
+void Simulation::ApplyEnvOverrides() {
   // CI hook: debug/tsan test runs export BDM_AUDIT_INTERVAL=1 so every
   // simulation they construct self-checks each iteration without the test
   // code opting in (see tests/CMakeLists.txt).
@@ -54,12 +103,6 @@ Simulation::Simulation(std::string name, const Param& param)
       param_.audit_interval = interval;
     }
   }
-
-  // Observability hooks (DESIGN.md Section 7). BDM_METRICS=0 forces the
-  // counter layer off (overhead A/B runs); BDM_TRACE=<path> records every
-  // operation span of this simulation as a chrome://tracing JSON written on
-  // destruction. Metric totals reset per simulation so snapshots and the
-  // end-of-run dump describe this run alone.
   if (const char* metrics = std::getenv("BDM_METRICS")) {
     if (metrics[0] == '0') {
       param_.collect_metrics = false;
@@ -71,20 +114,10 @@ Simulation::Simulation(std::string name, const Param& param)
   if (const char* dag = std::getenv("BDM_OP_DAG")) {
     param_.op_dag = dag[0] != '0';
   }
-  auto& registry = MetricsRegistry::Get();
-  registry.ConfigureSlots(topology_.NumThreads() + 1);
-  registry.SetEnabled(param_.collect_metrics);
-  registry.Reset();
-  if (std::getenv("BDM_TRACE") != nullptr) {
-    TraceRecorder::Get().Start(name_);
-  }
+}
 
-  pool_ = std::make_unique<NumaThreadPool>(topology_);
-  if (param_.use_bdm_memory_manager) {
-    memory_manager_ = std::make_unique<MemoryManager>(topology_, param_.memory);
-    MemoryManager::SetGlobal(memory_manager_.get());
-  }
-  rm_ = std::make_unique<ResourceManager>(param_, pool_.get(), &uid_generator_);
+void Simulation::BuildComponents() {
+  rm_ = std::make_unique<ResourceManager>(param_, pool_, uid_generator_);
   env_ = MakeEnvironment(param_);
   force_ = std::make_unique<InteractionForce>();
 
@@ -95,7 +128,7 @@ Simulation::Simulation(std::string name, const Param& param)
     const int domain = slot == 0 ? 0 : topology_.DomainOfThread(slot - 1);
     contexts_.push_back(std::make_unique<ExecutionContext>(
         domain, param_.random_seed + static_cast<uint64_t>(slot) * 0x9E3779B9,
-        &uid_generator_));
+        uid_generator_));
     context_ptrs_.push_back(contexts_.back().get());
   }
 
@@ -107,27 +140,35 @@ Simulation::~Simulation() {
   // chrome trace are written before any engine component is torn down.
   // With several sequential Simulations in one process, each run rewrites
   // the files -- the last simulation wins; point the env vars at a
-  // one-simulation run (the examples) for a clean capture.
-  if (const char* path = std::getenv("BDM_OBS_JSON")) {
-    if (!scheduler_->DumpObservability(std::string(path))) {
-      std::fprintf(stderr, "BDM_OBS_JSON: cannot open %s for writing\n", path);
+  // one-simulation run (the examples) for a clean capture. Shared-service
+  // simulations skip both: the service owner captures one unified view.
+  if (owns_services_) {
+    if (const char* path = std::getenv("BDM_OBS_JSON")) {
+      if (!scheduler_->DumpObservability(std::string(path))) {
+        std::fprintf(stderr, "BDM_OBS_JSON: cannot open %s for writing\n",
+                     path);
+      }
     }
-  }
-  if (const char* path = std::getenv("BDM_TRACE")) {
-    TraceRecorder::Get().Stop(path);
+    if (const char* path = std::getenv("BDM_TRACE")) {
+      TraceRecorder::Get().Stop(path);
+    }
   }
 
   // Destruction order matters: agents (and their behaviors) must be freed
   // while the memory manager that allocated them is still the global one.
+  // (For shared services the owner keeps the global allocator installed
+  // until after every shard simulation is gone.)
   scheduler_.reset();
   env_.reset();
   rm_.reset();
   diffusion_grids_.clear();
   contexts_.clear();
   force_.reset();
-  memory_manager_.reset();  // clears the global pointer in its destructor
-  pool_.reset();
-  active_ = nullptr;
+  owned_memory_manager_.reset();  // clears the global pointer (owning mode)
+  owned_pool_.reset();
+  if (active_ == this) {
+    active_ = nullptr;
+  }
 }
 
 void Simulation::SetInteractionForce(std::unique_ptr<InteractionForce> force) {
@@ -147,7 +188,7 @@ DiffusionGrid* Simulation::AddDiffusionGrid(std::unique_ptr<DiffusionGrid> grid,
                                             const Real3& upper) {
   // The pool drives first-touch placement: each worker zeroes the z-slab
   // it will later step.
-  grid->Initialize(lower, upper, pool_.get());
+  grid->Initialize(lower, upper, pool_);
   diffusion_grids_.push_back(std::move(grid));
   diffusion_ptrs_.push_back(diffusion_grids_.back().get());
   return diffusion_ptrs_.back();

@@ -33,7 +33,25 @@ class DiffusionGrid;
 
 class Simulation {
  public:
+  /// Externally owned engine services injected into a non-owning Simulation.
+  /// The shard layer (src/shard/sharded_simulation.h) shares one thread
+  /// pool, one memory manager, and one uid generator across all shards so
+  /// cross-shard agent hand-over is safe (allocations stay under one
+  /// allocator, uids stay globally unique).
+  struct SharedServices {
+    NumaThreadPool* pool = nullptr;
+    MemoryManager* memory_manager = nullptr;  // null = none installed
+    AgentUidGenerator* uid_generator = nullptr;
+  };
+
   explicit Simulation(std::string name, const Param& param = {});
+  /// Non-owning variant for multi-Simulation processes: runs on the given
+  /// services, skips the process-global observability setup (metrics slot
+  /// configuration, trace start -- the owner of the services does that
+  /// once), and does not claim the active slot exclusively. Callers must
+  /// bracket every phase that touches this instance with SetActive().
+  Simulation(std::string name, const Param& param,
+             const SharedServices& services);
   ~Simulation();
 
   Simulation(const Simulation&) = delete;
@@ -43,15 +61,25 @@ class Simulation {
   /// behaviors that need engine services).
   static Simulation* GetActive() { return active_; }
 
+  /// Switches the active simulation and returns the previous one. Only
+  /// meaningful for service-sharing simulations (the owning constructor
+  /// claims the slot for its whole lifetime); the shard layer switches
+  /// before stepping or mutating each shard.
+  static Simulation* SetActive(Simulation* sim) {
+    Simulation* previous = active_;
+    active_ = sim;
+    return previous;
+  }
+
   const std::string& GetName() const { return name_; }
   const Param& GetParam() const { return param_; }
   ResourceManager* GetResourceManager() { return rm_.get(); }
   Environment* GetEnvironment() { return env_.get(); }
   Scheduler* GetScheduler() { return scheduler_.get(); }
-  NumaThreadPool* GetThreadPool() { return pool_.get(); }
-  AgentUidGenerator* GetAgentUidGenerator() { return &uid_generator_; }
+  NumaThreadPool* GetThreadPool() { return pool_; }
+  AgentUidGenerator* GetAgentUidGenerator() { return uid_generator_; }
   TimingAggregator* GetTiming() { return &timing_; }
-  MemoryManager* GetMemoryManager() { return memory_manager_.get(); }
+  MemoryManager* GetMemoryManager() { return memory_manager_; }
 
   InteractionForce* GetInteractionForce() { return force_.get(); }
   void SetInteractionForce(std::unique_ptr<InteractionForce> force);
@@ -77,14 +105,24 @@ class Simulation {
   void Simulate(uint64_t iterations);
 
  private:
+  void ApplyEnvOverrides();
+  void BuildComponents();
+
   static Simulation* active_;
 
   std::string name_;
   Param param_;
   Topology topology_;
-  std::unique_ptr<NumaThreadPool> pool_;
-  std::unique_ptr<MemoryManager> memory_manager_;
-  AgentUidGenerator uid_generator_;
+  /// True when this simulation constructed (and must tear down) the pool,
+  /// memory manager, and uid generator itself; false when they were
+  /// injected via SharedServices.
+  bool owns_services_ = true;
+  std::unique_ptr<NumaThreadPool> owned_pool_;
+  std::unique_ptr<MemoryManager> owned_memory_manager_;
+  std::unique_ptr<AgentUidGenerator> owned_uid_generator_;
+  NumaThreadPool* pool_ = nullptr;
+  MemoryManager* memory_manager_ = nullptr;
+  AgentUidGenerator* uid_generator_ = nullptr;
   std::unique_ptr<ResourceManager> rm_;
   std::unique_ptr<Environment> env_;
   std::unique_ptr<InteractionForce> force_;

@@ -134,6 +134,7 @@ void SoaStore::FullRebuild(const ResourceManager& rm, NumaThreadPool* pool) {
   // mark is consumed. Runs between parallel regions -- no concurrent
   // mutators can set the flag while we clear it.
   soa::g_aos_geometry_dirty.store(false, std::memory_order_relaxed);
+  geometry_stale_.store(false, std::memory_order_relaxed);
   if (MetricsRegistry::Enabled()) {
     MetricsRegistry::Get().Add(Metrics().full_rebuilds, 1);
   }
@@ -155,6 +156,7 @@ void SoaStore::RefreshGeometry(NumaThreadPool* pool) {
     }
   });
   soa::g_aos_geometry_dirty.store(false, std::memory_order_relaxed);
+  geometry_stale_.store(false, std::memory_order_relaxed);
   if (MetricsRegistry::Enabled()) {
     MetricsRegistry::Get().Add(Metrics().incremental_updates, 1);
   }
@@ -165,7 +167,8 @@ void SoaStore::EnsureCurrent(const ResourceManager& rm, NumaThreadPool* pool) {
     FullRebuild(rm, pool);
     return;
   }
-  if (soa::g_aos_geometry_dirty.load(std::memory_order_relaxed)) {
+  if (soa::g_aos_geometry_dirty.load(std::memory_order_relaxed) ||
+      geometry_stale_.load(std::memory_order_relaxed)) {
     RefreshGeometry(pool);
   }
 }

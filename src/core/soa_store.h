@@ -127,6 +127,16 @@ class SoaStore {
     structure_dirty_.store(true, std::memory_order_relaxed);
   }
 
+  /// Per-store geometry invalidation for multi-ResourceManager setups
+  /// (src/shard/): soa::g_aos_geometry_dirty is process-global, so when
+  /// shard A's EnsureCurrent consumes it, a geometry write that actually
+  /// targeted shard B's agents would be lost. The shard layer therefore also
+  /// raises this store-local flag after mutating positions of agents owned
+  /// by this store's ResourceManager (ghost refresh, migration arrivals).
+  void MarkGeometryStale() {
+    geometry_stale_.store(true, std::memory_order_relaxed);
+  }
+
   // Commit protocol (called by ResourceManager::Commit only).
   /// Snapshots the pre-commit layout and arms the mirror hooks.
   void BeginCommit();
@@ -175,6 +185,7 @@ class SoaStore {
 
   bool live_ = false;
   std::atomic<bool> structure_dirty_{true};
+  std::atomic<bool> geometry_stale_{false};  // see MarkGeometryStale
 
   // Commit-window state (BeginCommit .. FinishCommit).
   bool mirroring_commit_ = false;

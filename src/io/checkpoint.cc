@@ -50,8 +50,72 @@ bool Checkpoint::RegisterBehaviorType(const std::string& name,
   return true;
 }
 
-void Checkpoint::Save(Simulation* sim, const std::string& path) {
+void Checkpoint::WriteAgentRecord(std::ostream& out, const Agent* agent) {
   const auto& registry = GetRegistry();
+  const auto name_it = registry.agent_names.find(std::type_index(typeid(*agent)));
+  if (name_it == registry.agent_names.end()) {
+    throw std::runtime_error(std::string("checkpoint: unregistered agent type ") +
+                             typeid(*agent).name());
+  }
+  WriteString(out, name_it->second);
+  agent->WriteState(out);
+  const auto& behaviors = agent->GetAllBehaviors();
+  WriteScalar<uint32_t>(out, static_cast<uint32_t>(behaviors.size()));
+  for (const Behavior* behavior : behaviors) {
+    const auto b_it =
+        registry.behavior_names.find(std::type_index(typeid(*behavior)));
+    if (b_it == registry.behavior_names.end()) {
+      throw std::runtime_error(
+          std::string("checkpoint: unregistered behavior type ") +
+          typeid(*behavior).name());
+    }
+    WriteString(out, b_it->second);
+    behavior->WriteState(out);
+  }
+}
+
+Agent* Checkpoint::ReadAgentRecord(std::istream& in) {
+  const auto& registry = GetRegistry();
+  const std::string type_name = ReadString(in);
+  const auto factory_it = registry.agent_factories.find(type_name);
+  if (factory_it == registry.agent_factories.end()) {
+    throw std::runtime_error("checkpoint: unknown agent type " + type_name);
+  }
+  Agent* agent = factory_it->second();
+  agent->ReadState(in);
+  const uint32_t num_behaviors = ReadScalar<uint32_t>(in);
+  for (uint32_t b = 0; b < num_behaviors; ++b) {
+    const std::string behavior_name = ReadString(in);
+    const auto b_it = registry.behavior_factories.find(behavior_name);
+    if (b_it == registry.behavior_factories.end()) {
+      delete agent;
+      throw std::runtime_error("checkpoint: unknown behavior type " +
+                               behavior_name);
+    }
+    Behavior* behavior = b_it->second();
+    behavior->ReadState(in);
+    agent->AddBehavior(behavior);
+  }
+  return agent;
+}
+
+uint64_t Checkpoint::AppendAgentRecords(Simulation* sim, std::istream& in,
+                                        uint64_t count, bool remap_uids) {
+  auto* rm = sim->GetResourceManager();
+  for (uint64_t i = 0; i < count; ++i) {
+    Agent* agent = ReadAgentRecord(in);
+    if (remap_uids) {
+      // Invalidate the serialized uid; AddAgent then assigns a fresh one
+      // from this simulation's generator, so the appended agent can never
+      // alias a live uid (the serialized one may collide here).
+      agent->SetUid(AgentUid());
+    }
+    rm->AddAgent(agent);
+  }
+  return count;
+}
+
+void Checkpoint::Save(Simulation* sim, const std::string& path) {
   std::ofstream out(path, std::ios::binary);
   if (!out) {
     throw std::runtime_error("checkpoint: cannot open " + path);
@@ -60,36 +124,12 @@ void Checkpoint::Save(Simulation* sim, const std::string& path) {
   auto* rm = sim->GetResourceManager();
   WriteScalar<uint32_t>(out, sim->GetAgentUidGenerator()->HighWatermark());
   WriteScalar<uint64_t>(out, rm->GetNumAgents());
-  rm->ForEachAgent([&](Agent* agent, AgentHandle) {
-    const auto name_it = registry.agent_names.find(std::type_index(typeid(*agent)));
-    if (name_it == registry.agent_names.end()) {
-      throw std::runtime_error(std::string("checkpoint: unregistered agent type ") +
-                               typeid(*agent).name());
-    }
-    WriteString(out, name_it->second);
-    agent->WriteState(out);
-    const auto& behaviors = agent->GetAllBehaviors();
-    WriteScalar<uint32_t>(out, static_cast<uint32_t>(behaviors.size()));
-    for (const Behavior* behavior : behaviors) {
-      const auto b_it =
-          registry.behavior_names.find(std::type_index(typeid(*behavior)));
-      if (b_it == registry.behavior_names.end()) {
-        throw std::runtime_error(
-            std::string("checkpoint: unregistered behavior type ") +
-            typeid(*behavior).name());
-      }
-      WriteString(out, b_it->second);
-      behavior->WriteState(out);
-    }
-  });
+  rm->ForEachAgent(
+      [&](Agent* agent, AgentHandle) { WriteAgentRecord(out, agent); });
 }
 
 void Checkpoint::Load(Simulation* sim, const std::string& path) {
-  const auto& registry = GetRegistry();
   auto* rm = sim->GetResourceManager();
-  if (rm->GetNumAgents() != 0) {
-    throw std::runtime_error("checkpoint: target simulation is not empty");
-  }
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw std::runtime_error("checkpoint: cannot open " + path);
@@ -97,33 +137,18 @@ void Checkpoint::Load(Simulation* sim, const std::string& path) {
   if (ReadScalar<uint64_t>(in) != kMagic) {
     throw std::runtime_error("checkpoint: bad magic in " + path);
   }
-  // Restore the watermark before adding agents so the uid map is sized
-  // correctly and future uids cannot collide with restored ones.
-  sim->GetAgentUidGenerator()->RestoreWatermark(ReadScalar<uint32_t>(in));
+  const uint32_t watermark = ReadScalar<uint32_t>(in);
   const uint64_t num_agents = ReadScalar<uint64_t>(in);
-  for (uint64_t i = 0; i < num_agents; ++i) {
-    const std::string type_name = ReadString(in);
-    const auto factory_it = registry.agent_factories.find(type_name);
-    if (factory_it == registry.agent_factories.end()) {
-      throw std::runtime_error("checkpoint: unknown agent type " + type_name);
-    }
-    Agent* agent = factory_it->second();
-    agent->ReadState(in);
-    const uint32_t num_behaviors = ReadScalar<uint32_t>(in);
-    for (uint32_t b = 0; b < num_behaviors; ++b) {
-      const std::string behavior_name = ReadString(in);
-      const auto b_it = registry.behavior_factories.find(behavior_name);
-      if (b_it == registry.behavior_factories.end()) {
-        delete agent;
-        throw std::runtime_error("checkpoint: unknown behavior type " +
-                                 behavior_name);
-      }
-      Behavior* behavior = b_it->second();
-      behavior->ReadState(in);
-      agent->AddBehavior(behavior);
-    }
-    rm->AddAgent(agent);
+  const bool exact_restore = rm->GetNumAgents() == 0;
+  if (exact_restore) {
+    // Restore the watermark before adding agents so the uid map is sized
+    // correctly and future uids cannot collide with restored ones.
+    sim->GetAgentUidGenerator()->RestoreWatermark(watermark);
   }
+  // Non-empty target: append with fresh uids instead (the serialized ones
+  // may collide with live agents); the serialized watermark is irrelevant
+  // then because no serialized uid survives.
+  AppendAgentRecords(sim, in, num_agents, /*remap_uids=*/!exact_restore);
 }
 
 // --- built-in type registrations ---------------------------------------------

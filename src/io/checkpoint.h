@@ -16,7 +16,9 @@
 #ifndef BDM_IO_CHECKPOINT_H_
 #define BDM_IO_CHECKPOINT_H_
 
+#include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <string>
 #include <typeindex>
 
@@ -44,10 +46,40 @@ class Checkpoint {
   /// registered (stating the mangled type name).
   static void Save(Simulation* sim, const std::string& path);
 
-  /// Restores a checkpoint into `sim`, which must not contain agents yet.
-  /// Substance-coupled behaviors re-resolve their DiffusionGrid by name,
-  /// so grids must be registered on `sim` before loading.
+  /// Restores a checkpoint into `sim`. Into an *empty* simulation this is an
+  /// exact restore: uids are preserved and the uid-generator watermark is
+  /// fast-forwarded, so AgentPointer references survive verbatim. Into a
+  /// non-empty simulation the records are *appended* with freshly assigned
+  /// uids (see AppendAgentRecords) -- valid only for populations without
+  /// cross-agent references. Substance-coupled behaviors re-resolve their
+  /// DiffusionGrid by name, so grids must be registered on `sim` before
+  /// loading.
   static void Load(Simulation* sim, const std::string& path);
+
+  // --- reusable agent-record layer ------------------------------------------
+  // One record = type name + Agent::WriteState + behavior list. This is the
+  // unit shared by whole-file checkpoints (above) and the shard migration
+  // path (src/shard/), which moves single agents between ResourceManagers
+  // through the same bytes.
+
+  /// Serializes one agent (type, polymorphic state, behaviors) to `out`.
+  /// Throws std::runtime_error for unregistered agent/behavior types.
+  static void WriteAgentRecord(std::ostream& out, const Agent* agent);
+
+  /// Reads one record written by WriteAgentRecord and returns a heap agent
+  /// (behaviors attached, uid as serialized). The caller takes ownership.
+  static Agent* ReadAgentRecord(std::istream& in);
+
+  /// Reads `count` records from `in` and adds each to `sim`'s
+  /// ResourceManager. With `remap_uids`, every record's serialized uid is
+  /// discarded and AddAgent assigns a fresh one from the simulation's
+  /// generator -- the mode used when the target already contains agents
+  /// (restore-append, shard migration): serialized uids may collide with
+  /// live ones there. Remapping breaks uid-based AgentPointer references
+  /// *between* the appended agents, so it is only valid for populations
+  /// without cross-agent references. Returns the number of agents added.
+  static uint64_t AppendAgentRecords(Simulation* sim, std::istream& in,
+                                     uint64_t count, bool remap_uids);
 };
 
 #define BDM_REGISTER_AGENT(TYPE)                                          \

@@ -168,6 +168,11 @@ void MechanicsFusedOp::Run(Simulation* sim) {
         continue;  // untouched agent: no force, no wake condition
       }
       Agent* agent = agents[i];
+      if (agent->IsGhost()) {
+        // Halo copy owned by another shard: it exerted forces on local
+        // agents above, but only its owner integrates its displacement.
+        continue;
+      }
       if (skip_static && is_static[i] != 0) {
         // Same skip as the reference: a static agent is neither woken nor
         // displaced. (Its pairs with awake partners were still computed

@@ -1,0 +1,42 @@
+// GhostAgent: read-only halo copy of an agent owned by another shard.
+//
+// A ghost carries exactly the state the force traversal needs -- position,
+// diameter, staticness -- refreshed bitwise from the owner at every halo
+// exchange. It lives in the receiving shard's ResourceManager like any other
+// agent (so the uniform grid and the pair engine see it without special
+// cases) under a locally generated uid; the owner-side uid is tracked by the
+// shard layer's ghost registry, never by the ResourceManager (two live
+// agents must never share a uid slot). Ghosts carry no behaviors and the
+// mechanics ops skip their displacement integration (Agent::IsGhost).
+#ifndef BDM_SHARD_GHOST_AGENT_H_
+#define BDM_SHARD_GHOST_AGENT_H_
+
+#include "core/agent.h"
+#include "math/real3.h"
+
+namespace bdm::shard {
+
+class GhostAgent : public Agent {
+ public:
+  GhostAgent() { SetGhost(true); }
+
+  real_t GetDiameter() const override { return diameter_; }
+  void SetDiameter(real_t diameter) override { diameter_ = diameter; }
+
+  Agent* NewCopy() const override { return new GhostAgent(*this); }
+
+  /// Never called: the mechanics ops skip ghosts before integration. The
+  /// body exists only to satisfy the pure-virtual interface.
+  Real3 CalculateDisplacement(const InteractionForce*, Environment*,
+                              const Param&, int* non_zero_forces) override {
+    *non_zero_forces = 0;
+    return Real3{};
+  }
+
+ private:
+  real_t diameter_ = 0;
+};
+
+}  // namespace bdm::shard
+
+#endif  // BDM_SHARD_GHOST_AGENT_H_

@@ -1,0 +1,232 @@
+#include "shard/shard.h"
+
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "core/resource_manager.h"
+#include "io/binary.h"
+#include "io/checkpoint.h"
+#include "shard/ghost_agent.h"
+#include "shard/shard_transport.h"
+
+namespace bdm::shard {
+
+namespace {
+
+// Message kind tags. The phase lockstep already guarantees that only one
+// kind is in flight at a time; the tag turns a future ordering bug into an
+// immediate error instead of silent record misparsing.
+constexpr uint8_t kMigrationMsg = 1;
+constexpr uint8_t kHaloMsg = 2;
+
+uint8_t ReadKind(std::istream& in, uint8_t expected) {
+  const auto kind = io::ReadScalar<uint8_t>(in);
+  if (kind != expected) {
+    throw std::logic_error("shard exchange: unexpected message kind " +
+                           std::to_string(kind) + " (expected " +
+                           std::to_string(expected) + ")");
+  }
+  return kind;
+}
+
+}  // namespace
+
+Shard::Shard(int id, int num_shards, const spatial::ShardExtent& extent,
+             const std::string& name, const Param& param,
+             const Simulation::SharedServices& services)
+    : id_(id),
+      extent_(extent),
+      sim_(std::make_unique<Simulation>(name, param, services)),
+      sent_prev_(num_shards),
+      recv_prev_(num_shards) {}
+
+uint64_t Shard::NumOwned() const {
+  return sim_->GetResourceManager()->GetNumAgents() - ghosts_.size();
+}
+
+void Shard::CollectMigrations(const std::vector<spatial::ShardExtent>& extents,
+                              ShardTransport* transport,
+                              ExchangeStats* stats) {
+  auto* rm = sim_->GetResourceManager();
+  auto* ctx = sim_->GetExecutionContext(-1);
+  const int num_shards = static_cast<int>(extents.size());
+  std::vector<std::ostringstream> records(num_shards);
+  std::vector<uint32_t> counts(num_shards, 0);
+  rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+    if (agent->IsGhost()) {
+      return;  // halo copies sit outside the extent by construction
+    }
+    const int dst = spatial::LocateShard(extents, agent->GetPosition());
+    if (dst == id_) {
+      return;
+    }
+    io::Checkpoint::WriteAgentRecord(records[dst], agent);
+    ++counts[dst];
+    ctx->RemoveAgent(agent->GetUid());
+  });
+  rm->Commit(sim_->GetAllExecutionContexts());
+  for (int dst = 0; dst < num_shards; ++dst) {
+    if (counts[dst] == 0) {
+      continue;
+    }
+    std::ostringstream msg;
+    io::WriteScalar<uint8_t>(msg, kMigrationMsg);
+    io::WriteScalar<uint32_t>(msg, counts[dst]);
+    msg << records[dst].str();
+    transport->Send(id_, dst, std::move(msg).str());
+    stats->migrations_out += counts[dst];
+  }
+}
+
+void Shard::ReceiveMigrations(ShardTransport* transport,
+                              ExchangeStats* stats) {
+  int src = -1;
+  std::string bytes;
+  while (transport->Receive(id_, &src, &bytes)) {
+    std::istringstream in(bytes);
+    ReadKind(in, kMigrationMsg);
+    const auto count = io::ReadScalar<uint32_t>(in);
+    // Fresh uids: the sender recycled the originals into the shared
+    // generator when it removed the agents, so keeping them would race the
+    // generator's reuse.
+    io::Checkpoint::AppendAgentRecords(sim_.get(), in, count,
+                                       /*remap_uids=*/true);
+    stats->migrations_in += count;
+  }
+}
+
+void Shard::SendHalos(const std::vector<spatial::ShardExtent>& extents,
+                      real_t halo_width, ShardTransport* transport,
+                      ExchangeStats* stats) {
+  auto* rm = sim_->GetResourceManager();
+  const int num_shards = static_cast<int>(extents.size());
+  std::vector<std::vector<const Agent*>> candidates(num_shards);
+  rm->ForEachAgent([&](Agent* agent, AgentHandle) {
+    if (agent->IsGhost()) {
+      return;  // only the owner publishes an agent's geometry
+    }
+    const Real3& pos = agent->GetPosition();
+    for (int dst = 0; dst < num_shards; ++dst) {
+      if (dst == id_) {
+        continue;
+      }
+      if (spatial::DistanceToExtent(extents[dst], pos) <= halo_width) {
+        candidates[dst].push_back(agent);
+      }
+    }
+  });
+  for (int dst = 0; dst < num_shards; ++dst) {
+    if (dst == id_) {
+      continue;
+    }
+    std::unordered_map<AgentUid, io::HaloPrev> next;
+    next.reserve(candidates[dst].size());
+    std::ostringstream msg;
+    io::WriteScalar<uint8_t>(msg, kHaloMsg);
+    io::WriteScalar<uint32_t>(msg,
+                              static_cast<uint32_t>(candidates[dst].size()));
+    for (const Agent* agent : candidates[dst]) {
+      io::HaloRecord record;
+      record.owner_uid = agent->GetUid();
+      record.position = agent->GetPosition();
+      record.diameter = agent->GetDiameter();
+      record.is_static = agent->IsStatic();
+      auto it = sent_prev_[dst].find(record.owner_uid);
+      const io::HaloPrev prev =
+          it != sent_prev_[dst].end() ? it->second : io::HaloPrev{};
+      io::EncodeHaloRecord(msg, record, prev);
+      next.emplace(record.owner_uid, io::BitsOf(record));
+    }
+    // Replace (not merge) the per-destination state: uids absent from this
+    // exchange must encode against zero next time, exactly like the
+    // receiver will decode them (it drops unseen uids symmetrically).
+    sent_prev_[dst] = std::move(next);
+    if (!candidates[dst].empty()) {
+      transport->Send(id_, dst, std::move(msg).str());
+      stats->halo_records_sent += candidates[dst].size();
+    }
+  }
+}
+
+void Shard::ReceiveHalos(ShardTransport* transport) {
+  auto* rm = sim_->GetResourceManager();
+  auto* ctx = sim_->GetExecutionContext(-1);
+  std::vector<std::unordered_map<AgentUid, io::HaloPrev>> next_recv(
+      recv_prev_.size());
+  std::unordered_set<AgentUid> seen;
+  bool geometry_touched = false;
+  int src = -1;
+  std::string bytes;
+  while (transport->Receive(id_, &src, &bytes)) {
+    std::istringstream in(bytes);
+    ReadKind(in, kHaloMsg);
+    const auto count = io::ReadScalar<uint32_t>(in);
+    auto& prev_map = recv_prev_[src];
+    auto& next_map = next_recv[src];
+    for (uint32_t i = 0; i < count; ++i) {
+      const io::HaloRecord record =
+          io::DecodeHaloRecordWith(in, [&prev_map](const AgentUid& uid) {
+            auto it = prev_map.find(uid);
+            return it != prev_map.end() ? it->second : io::HaloPrev{};
+          });
+      const io::HaloPrev bits = io::BitsOf(record);
+      next_map.emplace(record.owner_uid, bits);
+      seen.insert(record.owner_uid);
+      auto git = ghosts_.find(record.owner_uid);
+      if (git == ghosts_.end()) {
+        auto* ghost = new GhostAgent();
+        ghost->SetDiameter(record.diameter);
+        ghost->SetPosition(record.position);
+        ghost->MirrorStaticness(record.is_static);
+        rm->AddAgent(ghost);  // assigns a fresh local uid, marks structure
+        GhostEntry entry;
+        entry.local_uid = ghost->GetUid();
+        entry.owner_shard = src;
+        entry.bits = bits;
+        ghosts_.emplace(record.owner_uid, entry);
+        geometry_touched = true;
+      } else {
+        GhostEntry& entry = git->second;
+        Agent* ghost = rm->GetAgent(entry.local_uid);
+        // Skip the write-back when the owner's bits did not change: an
+        // untouched ghost must not wake its neighbors, or the static-agent
+        // optimization dies within one halo width of every boundary.
+        if (std::memcmp(entry.bits.bits, bits.bits, sizeof(bits.bits)) != 0) {
+          ghost->SetDiameter(record.diameter);
+          ghost->SetPosition(record.position);
+          entry.bits = bits;
+          geometry_touched = true;
+        }
+        ghost->MirrorStaticness(record.is_static);
+        entry.owner_shard = src;
+      }
+    }
+  }
+  recv_prev_ = std::move(next_recv);
+  // A ghost not reported this exchange left every halo zone (or its owner
+  // migrated and re-published it under a new uid): drop the copy.
+  bool removed_any = false;
+  for (auto it = ghosts_.begin(); it != ghosts_.end();) {
+    if (seen.count(it->first) == 0) {
+      ctx->RemoveAgent(it->second.local_uid);
+      it = ghosts_.erase(it);
+      removed_any = true;
+    } else {
+      ++it;
+    }
+  }
+  if (removed_any) {
+    rm->Commit(sim_->GetAllExecutionContexts());
+  }
+  if (geometry_touched || removed_any) {
+    // The in-place ghost writes raised the process-global AoS-dirty flag,
+    // but a sibling shard's EnsureCurrent may consume that flag first; the
+    // per-store stale mark survives the neighbor's refresh.
+    rm->GetSoaStore().MarkGeometryStale();
+  }
+}
+
+}  // namespace bdm::shard

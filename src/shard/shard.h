@@ -1,0 +1,117 @@
+// Shard: one spatial partition of a ShardedSimulation.
+//
+// A shard wraps a full (non-owning) Simulation -- its own ResourceManager,
+// environment, diffusion grids, scheduler, and execution contexts -- over a
+// disjoint axis-aligned extent, running on the services (thread pool, memory
+// manager, uid generator) shared by all shards of the process. On top of
+// the wrapped simulation the shard keeps the exchange state:
+//
+//  * the ghost registry: owner-shard uid -> local uid of the read-only halo
+//    copy living in this shard's ResourceManager (a *uid*, not a pointer --
+//    Morton sorting replaces agents with relocated copies),
+//  * the symmetric delta-codec state (io/agent_record.h): per destination
+//    the bits of every record sent in the previous exchange, per source the
+//    bits of every record received -- sender and receiver keep exactly the
+//    same keys, so the codec's "previous bits" can never diverge.
+//
+// The four exchange phases are driven by ShardedSimulation::Exchange in
+// lockstep across all shards (all migrations settle before any halo is
+// scanned; see sharded_simulation.h for why the order matters). Each phase
+// requires this shard's simulation to be the active one.
+#ifndef BDM_SHARD_SHARD_H_
+#define BDM_SHARD_SHARD_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/agent_uid.h"
+#include "core/simulation.h"
+#include "io/agent_record.h"
+#include "spatial/shard_partition.h"
+
+namespace bdm::shard {
+
+class ShardTransport;
+
+class Shard {
+ public:
+  /// Ghost registry entry: where the halo copy lives locally and what was
+  /// last applied to it (the bits double as the "did it move" test that
+  /// keeps unchanged ghosts from waking their neighbors every exchange).
+  struct GhostEntry {
+    AgentUid local_uid;
+    int owner_shard = -1;
+    io::HaloPrev bits;
+  };
+
+  /// Counters accumulated across the exchange phases of one iteration
+  /// (ShardedSimulation feeds them into the shard/* metrics).
+  struct ExchangeStats {
+    uint64_t migrations_out = 0;
+    uint64_t migrations_in = 0;
+    uint64_t halo_records_sent = 0;
+  };
+
+  Shard(int id, int num_shards, const spatial::ShardExtent& extent,
+        const std::string& name, const Param& param,
+        const Simulation::SharedServices& services);
+
+  int id() const { return id_; }
+  const spatial::ShardExtent& extent() const { return extent_; }
+  Simulation* sim() { return sim_.get(); }
+  const Simulation* sim() const { return sim_.get(); }
+
+  /// Live halo copies owned by other shards.
+  uint64_t NumGhosts() const { return ghosts_.size(); }
+  /// Live agents this shard owns (total population minus ghosts).
+  uint64_t NumOwned() const;
+
+  const std::unordered_map<AgentUid, GhostEntry>& Ghosts() const {
+    return ghosts_;
+  }
+
+  // --- exchange phases -------------------------------------------------------
+  // ShardedSimulation::Exchange calls these in order, phase-by-phase across
+  // all shards; the caller must have made sim() the active simulation.
+
+  /// Phase 1: serializes every owned agent whose position left this shard's
+  /// extent (full checkpoint records -- type, geometry, behaviors) into one
+  /// message per destination shard, and removes the originals.
+  void CollectMigrations(const std::vector<spatial::ShardExtent>& extents,
+                         ShardTransport* transport, ExchangeStats* stats);
+
+  /// Phase 2: drains pending migration messages and appends the agents to
+  /// this shard's population under fresh (globally unique) uids.
+  void ReceiveMigrations(ShardTransport* transport, ExchangeStats* stats);
+
+  /// Phase 3: delta-encodes the geometry of every owned agent within
+  /// `halo_width` of another shard's extent (face, edge, and corner
+  /// neighbors alike) into one message per destination.
+  void SendHalos(const std::vector<spatial::ShardExtent>& extents,
+                 real_t halo_width, ShardTransport* transport,
+                 ExchangeStats* stats);
+
+  /// Phase 4: drains pending halo messages, updates existing ghosts in
+  /// place (only when their bits actually changed), materializes new ones,
+  /// and removes ghosts whose owner no longer reports them.
+  void ReceiveHalos(ShardTransport* transport);
+
+ private:
+  int id_;
+  spatial::ShardExtent extent_;
+  std::unique_ptr<Simulation> sim_;
+
+  std::unordered_map<AgentUid, GhostEntry> ghosts_;
+  /// sent_prev_[dst] / recv_prev_[src]: delta-codec state of the previous
+  /// exchange, rebuilt from scratch every exchange (a missing message is an
+  /// empty record set on both ends).
+  std::vector<std::unordered_map<AgentUid, io::HaloPrev>> sent_prev_;
+  std::vector<std::unordered_map<AgentUid, io::HaloPrev>> recv_prev_;
+};
+
+}  // namespace bdm::shard
+
+#endif  // BDM_SHARD_SHARD_H_

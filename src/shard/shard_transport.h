@@ -1,0 +1,80 @@
+// ShardTransport: the byte-level seam between shards.
+//
+// The exchange phase talks to peers exclusively through this interface --
+// one opaque byte buffer per (source, destination) pair per exchange. The
+// in-process MailboxTransport below is the only implementation today;
+// a socket or MPI transport is a drop-in replacement because nothing above
+// this interface assumes shared memory (records are fully serialized, delta
+// state is kept symmetric on both endpoints, and ghosts are materialized
+// copies rather than pointers into the peer's heap). This is the seam
+// TeraAgent (arXiv 2509.24063) distributes across nodes.
+#ifndef BDM_SHARD_SHARD_TRANSPORT_H_
+#define BDM_SHARD_SHARD_TRANSPORT_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bdm::shard {
+
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// Queues one exchange message from shard `src` to shard `dst`. Empty
+  /// messages may be skipped by the caller: a destination treats a missing
+  /// message like an empty one (no halo records, no migrations).
+  virtual void Send(int src, int dst, std::string&& bytes) = 0;
+
+  /// Pops the next pending message addressed to `dst`. Returns false when
+  /// none remain.
+  virtual bool Receive(int dst, int* src, std::string* bytes) = 0;
+
+  /// Total payload bytes accepted by Send since construction (the
+  /// shard/exchange_bytes counter reads this).
+  virtual uint64_t TotalBytesSent() const = 0;
+};
+
+/// In-process transport: one mutex-guarded mailbox per destination shard.
+/// The exchange currently runs single-threaded on the main thread; the lock
+/// keeps the implementation valid if shard lanes ever exchange concurrently.
+class MailboxTransport : public ShardTransport {
+ public:
+  explicit MailboxTransport(int num_shards)
+      : mailboxes_(static_cast<size_t>(num_shards)) {}
+
+  void Send(int src, int dst, std::string&& bytes) override {
+    std::scoped_lock lock(mutex_);
+    bytes_sent_ += bytes.size();
+    mailboxes_[dst].emplace_back(src, std::move(bytes));
+  }
+
+  bool Receive(int dst, int* src, std::string* bytes) override {
+    std::scoped_lock lock(mutex_);
+    auto& box = mailboxes_[dst];
+    if (box.empty()) {
+      return false;
+    }
+    *src = box.front().first;
+    *bytes = std::move(box.front().second);
+    box.pop_front();
+    return true;
+  }
+
+  uint64_t TotalBytesSent() const override {
+    std::scoped_lock lock(mutex_);
+    return bytes_sent_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<std::deque<std::pair<int, std::string>>> mailboxes_;
+  uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace bdm::shard
+
+#endif  // BDM_SHARD_SHARD_TRANSPORT_H_

@@ -1,0 +1,247 @@
+#include "shard/sharded_simulation.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+#include "continuum/diffusion_grid.h"
+#include "core/consistency_audit.h"
+#include "core/resource_manager.h"
+#include "core/scheduler.h"
+#include "core/soa_dirty.h"
+#include "memory/memory_manager.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sched/numa_thread_pool.h"
+
+namespace bdm::shard {
+
+namespace {
+
+// Trace thread-slot base for per-shard tracks: far past the pool workers
+// and the op-DAG lane slots, so shard tracks never collide with either.
+constexpr int kShardTraceSlotBase = 4096;
+
+}  // namespace
+
+ShardedSimulation::ShardedSimulation(const std::string& name,
+                                     const Param& param, const Real3& lower,
+                                     const Real3& upper, int num_shards)
+    : name_(name),
+      param_(param),
+      topology_(param_.ResolveNumThreads(), param_.num_numa_domains) {
+  // Mirror Simulation::ApplyEnvOverrides for the knobs the shard layer
+  // itself consumes (the per-shard simulations re-apply them for their own
+  // schedulers).
+  if (const char* audit = std::getenv("BDM_AUDIT_INTERVAL")) {
+    const int interval = std::atoi(audit);
+    if (interval > 0) {
+      param_.audit_interval = interval;
+    }
+  }
+  if (const char* metrics = std::getenv("BDM_METRICS")) {
+    if (metrics[0] == '0') {
+      param_.collect_metrics = false;
+    }
+  }
+
+  // Process-global observability setup, done exactly once for all shards
+  // (the shards' service-sharing constructors skip it; see simulation.cc).
+  auto& registry = MetricsRegistry::Get();
+  registry.ConfigureSlots(topology_.NumThreads() + 1);
+  registry.SetEnabled(param_.collect_metrics);
+  registry.Reset();
+  if (std::getenv("BDM_TRACE") != nullptr) {
+    TraceRecorder::Get().Start(name_);
+  }
+  halo_sent_id_ = registry.RegisterCounter("shard/halo_agents_sent");
+  migrations_id_ = registry.RegisterCounter("shard/migrations");
+  exchange_bytes_id_ = registry.RegisterCounter("shard/exchange_bytes");
+  ghost_gauge_id_ = registry.RegisterGauge("shard/ghost_count");
+
+  pool_ = std::make_unique<NumaThreadPool>(topology_);
+  if (param_.use_bdm_memory_manager) {
+    memory_manager_ = std::make_unique<MemoryManager>(topology_, param_.memory);
+    MemoryManager::SetGlobal(memory_manager_.get());
+  }
+  uid_generator_ = std::make_unique<AgentUidGenerator>();
+
+  extents_ = spatial::UniformShardExtents(lower, upper, num_shards);
+  transport_ = std::make_unique<MailboxTransport>(num_shards);
+
+  Simulation::SharedServices services;
+  services.pool = pool_.get();
+  services.memory_manager = memory_manager_.get();
+  services.uid_generator = uid_generator_.get();
+  Simulation* previous = Simulation::GetActive();
+  shards_.reserve(num_shards);
+  for (int s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>(s, num_shards, extents_[s],
+                                         name_ + "_shard" + std::to_string(s),
+                                         param_, services);
+    Simulation::SetActive(shard->sim());
+    shards_.push_back(std::move(shard));
+    TraceRecorder::Get().SetThreadName(kShardTraceSlotBase + s,
+                                       "shard " + std::to_string(s));
+  }
+  Simulation::SetActive(previous);
+}
+
+ShardedSimulation::~ShardedSimulation() {
+  // End-of-run observability for the whole shard set. The metrics registry
+  // is process-global (all shards share the counters); the timing tree is
+  // per-shard, so the dump reports shard 0's -- point BDM_OBS_JSON at an
+  // unsharded run for a per-op timing capture.
+  if (const char* path = std::getenv("BDM_OBS_JSON")) {
+    if (!shards_.empty() &&
+        !shards_.front()->sim()->GetScheduler()->DumpObservability(
+            std::string(path))) {
+      std::fprintf(stderr, "BDM_OBS_JSON: cannot open %s for writing\n", path);
+    }
+  }
+  if (const char* path = std::getenv("BDM_TRACE")) {
+    TraceRecorder::Get().Stop(path);
+  }
+  // Members tear down in reverse declaration order: shards (agents,
+  // schedulers) first, then the shared uid generator, memory manager
+  // (clears the global allocator pointer), and pool.
+}
+
+void ShardedSimulation::AddAgent(Agent* agent) {
+  const int s = spatial::LocateShard(extents_, agent->GetPosition());
+  Simulation* previous = Simulation::SetActive(shards_[s]->sim());
+  shards_[s]->sim()->GetResourceManager()->AddAgent(agent);
+  Simulation::SetActive(previous);
+}
+
+void ShardedSimulation::AddDiffusionGrid(
+    const std::function<std::unique_ptr<DiffusionGrid>()>& factory) {
+  Simulation* previous = Simulation::GetActive();
+  for (auto& shard : shards_) {
+    Simulation::SetActive(shard->sim());
+    shard->sim()->AddDiffusionGrid(factory(), shard->extent().lower,
+                                   shard->extent().upper);
+  }
+  Simulation::SetActive(previous);
+}
+
+uint64_t ShardedSimulation::TotalOwned() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->NumOwned();
+  }
+  return total;
+}
+
+uint64_t ShardedSimulation::TotalGhosts() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->NumGhosts();
+  }
+  return total;
+}
+
+real_t ShardedSimulation::HaloWidth() const {
+  if (param_.fixed_box_length > 0) {
+    return param_.fixed_box_length;
+  }
+  real_t max_diameter = 0;
+  for (const auto& shard : shards_) {
+    shard->sim()->GetResourceManager()->ForEachAgent(
+        [&](Agent* agent, AgentHandle) {
+          if (!agent->IsGhost() && agent->GetDiameter() > max_diameter) {
+            max_diameter = agent->GetDiameter();
+          }
+        });
+  }
+  return max_diameter;
+}
+
+void ShardedSimulation::Exchange() {
+  // Conservation snapshot: the exchange moves and mirrors agents but must
+  // never create or destroy them; CheckShards compares against this.
+  expected_owned_ = TotalOwned();
+  const auto start = TraceRecorder::Clock::now();
+  const real_t halo_width = HaloWidth();
+  Shard::ExchangeStats stats;
+  Simulation* previous = Simulation::GetActive();
+  // Strict phase lockstep: every migration is delivered before any halo is
+  // scanned, so the new owner (not the old one) publishes a just-migrated
+  // agent and boundary pair forces stay exactly antisymmetric.
+  for (auto& shard : shards_) {
+    Simulation::SetActive(shard->sim());
+    shard->CollectMigrations(extents_, transport_.get(), &stats);
+  }
+  for (auto& shard : shards_) {
+    Simulation::SetActive(shard->sim());
+    shard->ReceiveMigrations(transport_.get(), &stats);
+  }
+  for (auto& shard : shards_) {
+    Simulation::SetActive(shard->sim());
+    shard->SendHalos(extents_, halo_width, transport_.get(), &stats);
+  }
+  for (auto& shard : shards_) {
+    Simulation::SetActive(shard->sim());
+    shard->ReceiveHalos(transport_.get());
+  }
+  Simulation::SetActive(previous);
+
+  auto& registry = MetricsRegistry::Get();
+  registry.Add(halo_sent_id_, stats.halo_records_sent);
+  registry.Add(migrations_id_, stats.migrations_out);
+  const uint64_t total_bytes = transport_->TotalBytesSent();
+  registry.Add(exchange_bytes_id_, total_bytes - reported_exchange_bytes_);
+  reported_exchange_bytes_ = total_bytes;
+  registry.SetGauge(ghost_gauge_id_, static_cast<double>(TotalGhosts()));
+  if (TraceRecorder::Active()) {
+    TraceRecorder::Get().RecordSpan("halo_exchange", start,
+                                    TraceRecorder::Clock::now(), 0,
+                                    iteration_);
+  }
+}
+
+void ShardedSimulation::Simulate(uint64_t iterations) {
+  Simulation* previous = Simulation::GetActive();
+  for (uint64_t i = 0; i < iterations; ++i) {
+    if (shards_.size() > 1) {
+      Exchange();
+      if (param_.audit_interval > 0 &&
+          iteration_ % static_cast<uint64_t>(param_.audit_interval) == 0) {
+        auto violations = ConsistencyAudit::CheckShards(this);
+        if (!violations.empty()) {
+          std::ostringstream os;
+          os << "CheckShards failed at iteration " << iteration_ << ":";
+          for (const auto& v : violations) {
+            os << "\n  " << v;
+          }
+          Simulation::SetActive(previous);
+          throw std::runtime_error(os.str());
+        }
+      }
+    }
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      Shard* shard = shards_[s].get();
+      Simulation::SetActive(shard->sim());
+      const auto step_start = TraceRecorder::Clock::now();
+      shard->sim()->Simulate(1);
+      if (TraceRecorder::Active()) {
+        TraceRecorder::Get().RecordSpan(
+            "step", step_start, TraceRecorder::Clock::now(),
+            kShardTraceSlotBase + static_cast<int>(s), iteration_);
+      }
+      // The process-global AoS-dirty flag cannot say *which* shard's
+      // behaviors moved agents; if it is up after this shard's step, pin
+      // the refresh to this shard's own store so a sibling consuming the
+      // global flag cannot starve it.
+      if (shards_.size() > 1 &&
+          soa::g_aos_geometry_dirty.load(std::memory_order_relaxed)) {
+        shard->sim()->GetResourceManager()->GetSoaStore().MarkGeometryStale();
+      }
+    }
+    ++iteration_;
+  }
+  Simulation::SetActive(previous);
+}
+
+}  // namespace bdm::shard

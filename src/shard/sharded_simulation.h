@@ -1,0 +1,139 @@
+// ShardedSimulation: TeraAgent-style spatial domain decomposition inside
+// one process (the distribution layer of arXiv 2509.24063, collapsed onto
+// the shared-memory engine of the PPoPP'23 paper).
+//
+// The simulation volume is split into S disjoint axis-aligned extents
+// (spatial/shard_partition.h, Morton split order). Each shard is a complete
+// Simulation -- own ResourceManager, environment, diffusion grids, scheduler
+// -- but all shards share one NumaThreadPool, one MemoryManager, and one
+// AgentUidGenerator (Simulation::SharedServices), so every shard's parallel
+// phases use the whole machine and uids stay globally unique across shards.
+//
+// Per iteration:
+//
+//   1. Exchange (S > 1 only):
+//        a. migrations out  -- owned agents whose position left the extent
+//           are checkpoint-serialized and removed,
+//        b. migrations in   -- appended to the new owner under fresh uids,
+//        c. halo send       -- owned agents within one interaction radius of
+//           a neighbor extent, delta-encoded (io/agent_record.h),
+//        d. halo apply      -- ghosts updated/materialized/retired.
+//      Migrations settle fully before any halo is scanned: a just-migrated
+//      agent is published by its *new* owner in the same exchange, so both
+//      sides of every boundary pair see bitwise-identical geometry and the
+//      pairwise forces stay exactly antisymmetric (momentum conservation).
+//   2. CheckShards audit (Param::audit_interval cadence): global uid
+//      uniqueness, ghost<->owner bitwise agreement, ownership containment,
+//      and agent-count conservation across the exchange.
+//   3. Each shard steps one iteration (Scheduler::Simulate(1), op DAG and
+//      all) with its simulation made active; shards step sequentially and
+//      each uses the full shared pool.
+//
+// With S == 1 the exchange and audit are skipped entirely and the loop
+// degenerates to stepping the single wrapped simulation -- bench_shard
+// verifies that this is bitwise identical to an unsharded run.
+//
+// All cross-shard bytes flow through the ShardTransport seam; swapping the
+// in-process mailbox for a socket or MPI transport distributes this layer
+// across nodes without touching the exchange logic.
+#ifndef BDM_SHARD_SHARDED_SIMULATION_H_
+#define BDM_SHARD_SHARDED_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/param.h"
+#include "math/real3.h"
+#include "numa/topology.h"
+#include "shard/shard.h"
+#include "shard/shard_transport.h"
+#include "spatial/shard_partition.h"
+
+namespace bdm {
+class Agent;
+class DiffusionGrid;
+class MemoryManager;
+class NumaThreadPool;
+}  // namespace bdm
+
+namespace bdm::shard {
+
+class ShardedSimulation {
+ public:
+  /// Splits [lower, upper] into `num_shards` (power of two) uniform extents
+  /// and builds one shard per extent. Performs the process-global
+  /// observability setup (metrics slots, trace start) that a lone Simulation
+  /// would do, exactly once for all shards.
+  ShardedSimulation(const std::string& name, const Param& param,
+                    const Real3& lower, const Real3& upper, int num_shards);
+  ~ShardedSimulation();
+
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  int NumShards() const { return static_cast<int>(shards_.size()); }
+  Shard* GetShard(int s) { return shards_[s].get(); }
+  const Shard* GetShard(int s) const { return shards_[s].get(); }
+  const std::vector<spatial::ShardExtent>& Extents() const { return extents_; }
+  const Param& GetParam() const { return param_; }
+  ShardTransport* GetTransport() { return transport_.get(); }
+
+  /// Takes ownership and places the agent in the shard owning its position.
+  void AddAgent(Agent* agent);
+
+  /// Registers one independent grid per shard, each spanning exactly its
+  /// shard's extent (`factory` is called once per shard). Deposits come
+  /// only from owned agents -- ghosts carry no behaviors -- so summed mass
+  /// is conserved across the shard set like in one global closed grid.
+  void AddDiffusionGrid(
+      const std::function<std::unique_ptr<DiffusionGrid>()>& factory);
+
+  /// Runs `iterations` steps of the exchange->audit->step loop above.
+  void Simulate(uint64_t iterations);
+
+  /// One exchange round outside the loop (test hook; Simulate calls this).
+  void Exchange();
+
+  uint64_t TotalOwned() const;
+  uint64_t TotalGhosts() const;
+  uint64_t Iteration() const { return iteration_; }
+  /// Owned-agent count snapshot taken at the start of the most recent
+  /// Exchange; the exchange must conserve it (birth/death during steps is
+  /// legal, losing agents in the exchange is not).
+  uint64_t ExpectedOwned() const { return expected_owned_; }
+
+ private:
+  /// Ghost coverage radius: Param::fixed_box_length when set (the exact
+  /// neighbor-search radius every shard uses), otherwise the global maximum
+  /// agent diameter (each shard's auto-sized search radius is <= that).
+  real_t HaloWidth() const;
+
+  std::string name_;
+  Param param_;
+  Topology topology_;
+  std::unique_ptr<NumaThreadPool> pool_;
+  std::unique_ptr<MemoryManager> memory_manager_;
+  std::unique_ptr<AgentUidGenerator> uid_generator_;
+  std::vector<spatial::ShardExtent> extents_;
+  std::unique_ptr<MailboxTransport> transport_;
+  // Declared after the services: shards (and the agents they own) are torn
+  // down while the shared allocator and pool are still alive.
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  uint64_t iteration_ = 0;
+  uint64_t expected_owned_ = 0;
+  uint64_t reported_exchange_bytes_ = 0;
+
+  // obs/metrics.h slot ids (satellite counters of DESIGN.md Section 9).
+  int halo_sent_id_ = -1;
+  int migrations_id_ = -1;
+  int exchange_bytes_id_ = -1;
+  int ghost_gauge_id_ = -1;
+};
+
+}  // namespace bdm::shard
+
+#endif  // BDM_SHARD_SHARDED_SIMULATION_H_

@@ -141,16 +141,32 @@ TEST_F(CheckpointTest, UidGenerationAfterRestoreDoesNotCollide) {
   }
 }
 
-TEST_F(CheckpointTest, LoadIntoNonEmptySimulationThrows) {
+TEST_F(CheckpointTest, LoadIntoNonEmptySimulationAppendsWithFreshUids) {
   {
     Simulation sim("save", SmallParam());
-    sim.GetResourceManager()->AddAgent(new Cell({0, 0, 0}, 8));
+    sim.GetResourceManager()->AddAgent(new Cell({1, 2, 3}, 8));
+    sim.GetResourceManager()->AddAgent(new Cell({4, 5, 6}, 9));
     io::Checkpoint::Save(&sim, path_);
   }
   {
     Simulation sim("load", SmallParam());
-    sim.GetResourceManager()->AddAgent(new Cell({0, 0, 0}, 8));
-    EXPECT_THROW(io::Checkpoint::Load(&sim, path_), std::runtime_error);
+    auto* resident = new Cell({7, 8, 9}, 10);
+    sim.GetResourceManager()->AddAgent(resident);
+    const AgentUid resident_uid = resident->GetUid();
+    io::Checkpoint::Load(&sim, path_);
+    auto* rm = sim.GetResourceManager();
+    // Appended, not replaced; the resident agent survives untouched.
+    EXPECT_EQ(rm->GetNumAgents(), 3u);
+    EXPECT_EQ(rm->GetAgent(resident_uid), resident);
+    // Every uid is unique: the loaded agents were remapped onto fresh uids
+    // even though their serialized uids collide with the resident's.
+    std::map<AgentUid, int> seen;
+    rm->ForEachAgent(
+        [&](Agent* agent, AgentHandle) { ++seen[agent->GetUid()]; });
+    EXPECT_EQ(seen.size(), 3u);
+    for (const auto& [uid, count] : seen) {
+      EXPECT_EQ(count, 1) << uid;
+    }
   }
 }
 
